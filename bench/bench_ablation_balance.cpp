@@ -1,0 +1,61 @@
+// Ablation: the load-balancing control knobs δ (threshold factor) and
+// P_l (probing level) — the paper says their values "control the
+// tradeoff between the overhead and quality of the load balancing" and
+// between balance quality and query routing performance (§3.4).
+//
+// For each (δ, P_l): migrations performed, resulting load flatness, and
+// the query routing cost afterwards.
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace lmk;
+  using namespace lmk::bench;
+  Scale scale = Scale::resolve();
+  scale.print("Ablation: balancing threshold delta x probing level Pl");
+  SyntheticWorkload w(scale);
+  auto truth = SimilarityExperiment<L2Space>::compute_truth(
+      w.space, w.data.points, w.queries, 10);
+
+  TablePrinter table({"delta", "Pl", "migrations", "max_load", "gini",
+                      "recall@5%", "hops@5%", "qry_msgs@5%"});
+  struct Setting {
+    double delta;
+    int pl;
+    bool balance;
+  };
+  const Setting settings[] = {{0.0, 0, false}, {0.0, 1, true},
+                              {0.0, 2, true},  {0.0, 4, true},
+                              {0.5, 4, true},  {1.0, 4, true},
+                              {2.0, 4, true},  {1.0, 1, true}};
+  for (const Setting& s : settings) {
+    ExperimentConfig ecfg;
+    ecfg.nodes = scale.nodes;
+    ecfg.seed = scale.seed;
+    ecfg.load_balance = s.balance;
+    ecfg.delta = s.delta;
+    ecfg.probe_level = std::max(1, s.pl);
+    SimilarityExperiment<L2Space> exp(
+        ecfg, w.space, w.data.points,
+        w.make_mapper(Selection::kKMeans, 5, scale.sample, scale.seed + 5),
+        "ablation-balance");
+    exp.set_queries(w.queries, truth);
+    auto curve = exp.load_curve();
+    std::vector<double> loads(curve.begin(), curve.end());
+    QueryStats stats = exp.run_batch(0.05 * w.max_dist);
+    table.add_row({s.balance ? fmt(s.delta, 1) : "off",
+                   s.balance ? std::to_string(s.pl) : "-",
+                   std::to_string(exp.migrations()), fmt(loads.front(), 0),
+                   fmt(gini(loads), 3), fmt(stats.recall.mean(), 3),
+                   fmt(stats.hops.mean(), 1),
+                   fmt(stats.query_messages.mean(), 1)});
+  }
+  table.print();
+  std::printf(
+      "\nexpected: larger delta / smaller Pl -> fewer migrations, flatter "
+      "is worse; balancing raises routing cost (skewed node ids).\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Ablation: landmark count k (§3.1 "Number of landmarks").
+//
+// Few landmarks filter poorly (large candidate supersets, wasted
+// bandwidth); many landmarks push the index space into high
+// dimensionality where range queries touch ever more cuboids (routing
+// cost). The sweep shows the tradeoff the paper describes.
+#include "bench_common.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace lmk;
+  using namespace lmk::bench;
+  Scale scale = Scale::resolve();
+  scale.print("Ablation: number of landmarks k");
+  SyntheticWorkload w(scale);
+  auto truth = SimilarityExperiment<L2Space>::compute_truth(
+      w.space, w.data.points, w.queries, 10);
+
+  TablePrinter table(QueryStats::header());
+  for (std::size_t k : {2ul, 3ul, 5ul, 10ul, 15ul, 20ul}) {
+    ExperimentConfig ecfg;
+    ecfg.nodes = scale.nodes;
+    ecfg.seed = scale.seed;
+    SimilarityExperiment<L2Space> exp(
+        ecfg, w.space, w.data.points,
+        w.make_mapper(Selection::kKMeans, k, scale.sample, scale.seed + k),
+        "k" + std::to_string(k));
+    exp.set_queries(w.queries, truth);
+    QueryStats stats = exp.run_batch(0.05 * w.max_dist);
+    table.add_row(stats.row("k=" + std::to_string(k) + " @5%"));
+  }
+  table.print();
+  std::printf(
+      "\nexpected: candidate count (cand) shrinks as k grows (better "
+      "filtering); routing cost grows with index dimensionality.\n");
+  return 0;
+}

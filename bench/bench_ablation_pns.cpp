@@ -1,0 +1,37 @@
+// Ablation: proximity neighbour selection (Chord-PNS, the paper's
+// protocol choice). PNS picks latency-close fingers, which should lower
+// response time and maximum latency without changing hop counts much.
+#include "bench_common.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace lmk;
+  using namespace lmk::bench;
+  Scale scale = Scale::resolve();
+  scale.print("Ablation: Chord-PNS on/off");
+  SyntheticWorkload w(scale);
+  auto truth = SimilarityExperiment<L2Space>::compute_truth(
+      w.space, w.data.points, w.queries, 10);
+
+  TablePrinter table(QueryStats::header());
+  for (bool pns : {true, false}) {
+    ExperimentConfig ecfg;
+    ecfg.nodes = scale.nodes;
+    ecfg.seed = scale.seed;
+    ecfg.pns = pns;
+    SimilarityExperiment<L2Space> exp(
+        ecfg, w.space, w.data.points,
+        w.make_mapper(Selection::kKMeans, 5, scale.sample, scale.seed + 5),
+        pns ? "pns-on" : "pns-off");
+    exp.set_queries(w.queries, truth);
+    for (double f : {0.02, 0.05, 0.10}) {
+      QueryStats stats = exp.run_batch(f * w.max_dist);
+      table.add_row(stats.row(std::string(pns ? "PNS " : "noPNS ") + "@" +
+                              fmt(f * 100, 0) + "%"));
+    }
+  }
+  table.print();
+  std::printf("\nexpected: PNS lowers response/max latency at equal hop "
+              "counts.\n");
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 2: performance of the four landmark selection schemes on the
+// Table 1 synthetic dataset, WITHOUT load balancing, versus the query
+// range factor (0.1% .. 20% of the 1000-unit maximum distance).
+//
+// Paper shapes to check (see EXPERIMENTS.md): recall rises with the
+// range factor; the 10-landmark schemes reach ~100% recall around the
+// 5% factor and beat the 5-landmark schemes; k-means beats greedy.
+#include "synthetic_sweep.hpp"
+
+int main() {
+  lmk::bench::run_synthetic_sweep(
+      "Figure 2: landmark selection schemes, synthetic dataset, "
+      "no load balancing",
+      /*load_balance=*/false);
+  return 0;
+}

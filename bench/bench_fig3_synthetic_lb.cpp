@@ -1,0 +1,16 @@
+// Figure 3: the Figure 2 sweep WITH dynamic load migration enabled
+// (δ = 0, P_l = 4 — the paper's maximum-effect setting).
+//
+// Paper shapes to check: recall dips and routing cost rises relative to
+// Figure 2; the 5-landmark schemes now hold up better than 10-landmark
+// ones (their entries distribute more evenly, so balancing perturbs the
+// node layout less); recall remains high overall.
+#include "synthetic_sweep.hpp"
+
+int main() {
+  lmk::bench::run_synthetic_sweep(
+      "Figure 3: landmark selection schemes, synthetic dataset, "
+      "with dynamic load migration (delta=0, Pl=4)",
+      /*load_balance=*/true);
+  return 0;
+}

@@ -1,0 +1,171 @@
+// Micro-benchmarks (google-benchmark) for the hot kernels: the
+// locality-preserving hash, query splitting, metric distance functions,
+// landmark mapping, and Chord routing-table scans.
+#include <benchmark/benchmark.h>
+
+#include "chord/ring.hpp"
+#include "landmark/mapper.hpp"
+#include "lph/lph.hpp"
+#include "metric/dense.hpp"
+#include "metric/edit_distance.hpp"
+#include "metric/sparse_vector.hpp"
+#include "routing/query.hpp"
+
+namespace lmk {
+namespace {
+
+void BM_LphHash(benchmark::State& state) {
+  auto dims = static_cast<std::size_t>(state.range(0));
+  Boundary b = uniform_boundary(dims, 0, 1000);
+  Rng rng(1);
+  IndexPoint p(dims);
+  for (auto& v : p) v = rng.uniform(0, 1000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lph_hash(p, b));
+  }
+}
+BENCHMARK(BM_LphHash)->Arg(2)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_EnclosingPrefix(benchmark::State& state) {
+  auto dims = static_cast<std::size_t>(state.range(0));
+  Boundary b = uniform_boundary(dims, 0, 1000);
+  Region r;
+  for (std::size_t d = 0; d < dims; ++d) {
+    r.ranges.push_back(Interval{430.0 + static_cast<double>(d), 470.0});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enclosing_prefix(r, b));
+  }
+}
+BENCHMARK(BM_EnclosingPrefix)->Arg(5)->Arg(10);
+
+void BM_QuerySplit(benchmark::State& state) {
+  SchemeRouting scheme;
+  scheme.boundary = uniform_boundary(5, 0, 1000);
+  scheme.query_message_bytes = query_message_size(5);
+  Region r;
+  for (int d = 0; d < 5; ++d) r.ranges.push_back(Interval{400, 600});
+  RangeQuery q;
+  (void)make_query(scheme, 1, 0, r, IndexPoint(5, 500.0), &q);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(query_split(q, q.prefix.length + 1));
+  }
+}
+BENCHMARK(BM_QuerySplit);
+
+void BM_L2Distance(benchmark::State& state) {
+  auto dims = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  DenseVector a(dims), b(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    a[d] = rng.uniform();
+    b[d] = rng.uniform();
+  }
+  L2Space space;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(space.distance(a, b));
+  }
+}
+BENCHMARK(BM_L2Distance)->Arg(100);
+
+void BM_AngularDistance(benchmark::State& state) {
+  Rng rng(3);
+  auto make = [&rng]() {
+    std::vector<SparseEntry> e;
+    for (int i = 0; i < 155; ++i) {
+      e.push_back(SparseEntry{static_cast<std::uint32_t>(rng.below(200000)),
+                              rng.uniform(0.1, 5)});
+    }
+    return SparseVector(std::move(e));
+  };
+  SparseVector a = make(), b = make();
+  AngularSpace space;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(space.distance(a, b));
+  }
+}
+BENCHMARK(BM_AngularDistance);
+
+void BM_EditDistance(benchmark::State& state) {
+  auto len = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  std::string a, b;
+  for (std::size_t i = 0; i < len; ++i) {
+    a.push_back("acgt"[rng.below(4)]);
+    b.push_back("acgt"[rng.below(4)]);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(edit_distance(a, b));
+  }
+}
+BENCHMARK(BM_EditDistance)->Arg(50)->Arg(200);
+
+void BM_EditDistanceBounded(benchmark::State& state) {
+  Rng rng(5);
+  std::string a, b;
+  for (int i = 0; i < 200; ++i) {
+    a.push_back("acgt"[rng.below(4)]);
+    b.push_back("acgt"[rng.below(4)]);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(edit_distance_bounded(a, b, 10));
+  }
+}
+BENCHMARK(BM_EditDistanceBounded);
+
+void BM_LandmarkMap(benchmark::State& state) {
+  Rng rng(6);
+  L2Space space;
+  std::vector<DenseVector> landmarks;
+  for (int l = 0; l < 10; ++l) {
+    DenseVector lm(100);
+    for (auto& v : lm) v = rng.uniform(0, 100);
+    landmarks.push_back(std::move(lm));
+  }
+  LandmarkMapper<L2Space> mapper(space, std::move(landmarks),
+                                 uniform_boundary(10, 0, 1000));
+  DenseVector p(100);
+  for (auto& v : p) v = rng.uniform(0, 100);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapper.map(p));
+  }
+}
+BENCHMARK(BM_LandmarkMap);
+
+void BM_ChordNextHop(benchmark::State& state) {
+  Simulator sim;
+  ConstantLatencyModel topo(1024, kMillisecond);
+  Network net(sim, topo);
+  Ring::Options opts;
+  Ring ring(net, opts);
+  for (HostId h = 0; h < 1024; ++h) ring.create_node(h);
+  ring.bootstrap();
+  ChordNode& n = ring.node(0);
+  Rng rng(7);
+  Id key = rng.next();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(n.next_hop(key));
+    key = key * 0x9e3779b97f4a7c15ull + 1;
+  }
+}
+BENCHMARK(BM_ChordNextHop);
+
+void BM_OracleSuccessor(benchmark::State& state) {
+  Simulator sim;
+  ConstantLatencyModel topo(1740, kMillisecond);
+  Network net(sim, topo);
+  Ring::Options opts;
+  Ring ring(net, opts);
+  for (HostId h = 0; h < 1740; ++h) ring.create_node(h);
+  ring.bootstrap();
+  Rng rng(8);
+  Id key = rng.next();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.oracle_successor(key));
+    key = key * 0x9e3779b97f4a7c15ull + 1;
+  }
+}
+BENCHMARK(BM_OracleSuccessor);
+
+}  // namespace
+}  // namespace lmk

@@ -1,0 +1,37 @@
+// Table 2: the distribution of document vector sizes in the (TREC-like)
+// corpus — minimum, 5th/50th/95th percentile, maximum, mean — compared
+// against the paper's reported values for TREC-1,2-AP.
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace lmk;
+  using namespace lmk::bench;
+  Scale scale = Scale::resolve();
+  scale.print("Table 2: distribution of document vector sizes");
+  CorpusWorkload w(scale);
+
+  auto sizes = w.corpus->vector_sizes();
+  double mean = 0;
+  for (double s : sizes) mean += s;
+  mean /= static_cast<double>(sizes.size());
+
+  TablePrinter table({"", "minimum", "5th", "50th", "95th", "maximum",
+                      "mean"});
+  table.add_row({"paper (TREC-1,2-AP)", "1", "50", "146", "293", "676",
+                 "155.4"});
+  table.add_row({"this corpus", fmt(percentile(sizes, 0), 0),
+                 fmt(percentile(sizes, 5), 0), fmt(percentile(sizes, 50), 0),
+                 fmt(percentile(sizes, 95), 0),
+                 fmt(percentile(sizes, 100), 0), fmt(mean, 1)});
+  table.print();
+
+  std::printf("\ndocuments: %zu (paper: 157,021)\n",
+              w.corpus->documents().size());
+  std::printf("distinct terms used: %zu (paper vocabulary: 233,640)\n",
+              w.corpus->distinct_terms());
+  std::printf("stop words removed: top %zu Zipf ranks (paper: SMART's 571)\n",
+              w.cfg.stop_words);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// The Figure 2 / Figure 3 sweep: the four landmark selection schemes
+// {Greedy-5, Greedy-10, Kmean-5, Kmean-10} against the query-range
+// factor, with or without dynamic load migration.
+#pragma once
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+
+namespace lmk::bench {
+
+inline void run_synthetic_sweep(const char* title, bool load_balance) {
+  Scale scale = Scale::resolve();
+  scale.print(title);
+  SyntheticWorkload w(scale);
+
+  // One brute-force truth pass shared by all four schemes.
+  auto truth = SimilarityExperiment<L2Space>::compute_truth(
+      w.space, w.data.points, w.queries, 10);
+
+  struct SchemeAxis {
+    Selection sel;
+    std::size_t k;
+  };
+  const SchemeAxis axes[] = {{Selection::kGreedy, 5},
+                             {Selection::kGreedy, 10},
+                             {Selection::kKMeans, 5},
+                             {Selection::kKMeans, 10}};
+
+  TablePrinter table(QueryStats::header());
+  for (const SchemeAxis& ax : axes) {
+    ExperimentConfig ecfg;
+    ecfg.nodes = scale.nodes;
+    ecfg.seed = scale.seed;
+    ecfg.load_balance = load_balance;
+    ecfg.delta = 0.0;     // §4.2: δ = 0 ...
+    ecfg.probe_level = 4;  // ... and P_l = 4 (maximum balancing effect)
+    std::string name = std::string(selection_name(ax.sel)) + "-" +
+                       std::to_string(ax.k);
+    SimilarityExperiment<L2Space> exp(
+        ecfg, w.space, w.data.points,
+        w.make_mapper(ax.sel, ax.k, scale.sample, scale.seed + ax.k +
+                                        (ax.sel == Selection::kKMeans
+                                             ? 1000
+                                             : 0)),
+        name);
+    exp.set_queries(w.queries, truth);
+    if (load_balance) {
+      std::printf("## %s: %d migrations during balancing\n", name.c_str(),
+                  exp.migrations());
+    }
+    for (double f : kRangeFactors) {
+      QueryStats stats = exp.run_batch(f * w.max_dist);
+      table.add_row(stats.row(name + " @" + fmt(f * 100, 1) + "%"));
+    }
+  }
+  table.print();
+}
+
+}  // namespace lmk::bench

@@ -1,0 +1,26 @@
+// Static load balancing: space-mapping rotation (paper §3.4).
+//
+// When several index schemes share a hotspot shape in index space (the
+// paper's example: high-dimensional hyperball volume concentrating
+// entries near the upper boundary), their hot cuboids land on the same
+// identifier range and overload the same nodes. Giving each scheme a
+// random rotation offset φ — derived by hashing the scheme's name —
+// shifts scheme i's key space to [φ_i, φ_i + 2^m - 1] (mod 2^m), so the
+// hot ranges of co-hosted schemes land on different parts of the ring.
+#pragma once
+
+#include <string_view>
+
+#include "common/ring_math.hpp"
+#include "common/rng.hpp"
+
+namespace lmk {
+
+/// The rotation offset for an index scheme: a uniform hash of its name
+/// ("the randomness of φ ... can be achieved by hashing the name of the
+/// corresponding index").
+[[nodiscard]] inline Id rotation_offset(std::string_view index_name) {
+  return hash_string(index_name.data(), index_name.size());
+}
+
+}  // namespace lmk

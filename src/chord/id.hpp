@@ -1,0 +1,19 @@
+// Chord identifier helpers.
+#pragma once
+
+#include "common/bits.hpp"
+#include "common/ring_math.hpp"
+#include "common/rng.hpp"
+#include "net/latency_model.hpp"
+
+namespace lmk {
+
+/// Derive a node identifier from a host address, as consistent hashing
+/// would (the paper: "Chord uses consistent hashing, e.g. SHA-1, to map
+/// nodes to the identifier space"). A seed decorrelates independent runs.
+[[nodiscard]] inline Id node_id_for_host(HostId host, std::uint64_t seed) {
+  return mix64((static_cast<std::uint64_t>(host) + 1) * 0x9e3779b97f4a7c15ull ^
+               seed);
+}
+
+}  // namespace lmk

@@ -1,0 +1,30 @@
+// Lightweight invariant checking used across the library.
+//
+// LMK_CHECK is active in all build types (experiments are only meaningful
+// when the protocol invariants actually hold), while LMK_DCHECK compiles
+// out in NDEBUG builds and is meant for hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lmk {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line) {
+  std::fprintf(stderr, "LMK_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace lmk
+
+#define LMK_CHECK(expr)                                 \
+  do {                                                  \
+    if (!(expr)) ::lmk::check_failed(#expr, __FILE__, __LINE__); \
+  } while (0)
+
+#ifdef NDEBUG
+#define LMK_DCHECK(expr) ((void)0)
+#else
+#define LMK_DCHECK(expr) LMK_CHECK(expr)
+#endif

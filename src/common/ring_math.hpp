@@ -1,0 +1,47 @@
+// Circular arithmetic on the 64-bit Chord identifier ring.
+//
+// Identifiers live in Z_{2^64}; uint64_t overflow gives the modular
+// arithmetic for free. The non-trivial part is circular interval
+// membership, which every Chord predicate (successor ownership,
+// closest-preceding-finger, stabilization) is built from.
+#pragma once
+
+#include <cstdint>
+
+namespace lmk {
+
+/// A Chord identifier: an m-bit integer with m = 64, matching the paper's
+/// simulation setup ("the number of bits in the key/node identifiers in
+/// the simulator is 64").
+using Id = std::uint64_t;
+
+/// Number of bits in an identifier.
+inline constexpr int kIdBits = 64;
+
+/// x in (a, b) on the circle. Empty when a == b (the interval (a, a) is
+/// the whole ring minus {a} in Chord's convention; we follow Chord:
+/// when a == b the interval covers everything except a itself).
+[[nodiscard]] constexpr bool in_open(Id x, Id a, Id b) {
+  if (a == b) return x != a;
+  if (a < b) return a < x && x < b;
+  return x > a || x < b;
+}
+
+/// x in (a, b] on the circle. When a == b the interval is the full ring.
+[[nodiscard]] constexpr bool in_open_closed(Id x, Id a, Id b) {
+  if (a == b) return true;
+  if (a < b) return a < x && x <= b;
+  return x > a || x <= b;
+}
+
+/// x in [a, b) on the circle. When a == b the interval is the full ring.
+[[nodiscard]] constexpr bool in_closed_open(Id x, Id a, Id b) {
+  if (a == b) return true;
+  if (a < b) return a <= x && x < b;
+  return x >= a || x < b;
+}
+
+/// Clockwise distance from a to b (how far b is "ahead" of a on the ring).
+[[nodiscard]] constexpr Id clockwise_distance(Id a, Id b) { return b - a; }
+
+}  // namespace lmk

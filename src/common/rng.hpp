@@ -1,0 +1,108 @@
+// Deterministic random number generation.
+//
+// All randomness in the library flows from a single seeded root so that
+// every experiment is reproducible bit-for-bit. The generator is
+// SplitMix64 (Steele, Lea, Flood 2014): tiny state, excellent statistical
+// quality for simulation purposes, and trivially splittable — `fork()`
+// derives an independent child stream, which lets concurrent subsystems
+// (topology, dataset, query schedule, protocol timers) draw from
+// decorrelated streams regardless of evaluation order.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace lmk {
+
+/// Splittable deterministic PRNG (SplitMix64 core).
+class Rng {
+ public:
+  /// Result type requirements of std::uniform_random_bit_generator, so the
+  /// generator can also be handed to <random> distributions if desired.
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t operator()() { return next(); }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Independent child stream; deterministic given the parent state.
+  [[nodiscard]] Rng fork() { return Rng(next() ^ 0xd1b54a32d192ed03ull); }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t below(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box–Muller (no cached spare: keeps state minimal).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Exponential with the given mean (inter-arrival times etc.).
+  double exponential(double mean);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stateless 64-bit mix of a 64-bit value (used for hashing index names
+/// into rotation offsets and node addresses into identifiers).
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x);
+
+/// 64-bit FNV-1a hash of a byte string (rotation offsets from index names).
+[[nodiscard]] std::uint64_t hash_string(const char* data, std::size_t len);
+
+/// Zipf-distributed integer sampler over ranks {0, …, n-1} with exponent s.
+/// Used by the synthetic corpus generator to model term frequencies.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  /// Draw one rank; rank 0 is the most frequent.
+  std::size_t operator()(Rng& rng) const;
+
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cumulative probabilities, cdf_.back() == 1
+};
+
+}  // namespace lmk

@@ -1,0 +1,39 @@
+// Column-aligned table printing for benchmark/experiment output.
+//
+// Each bench binary regenerates one of the paper's tables or figure
+// series; TablePrinter gives them a uniform, diff-friendly text format
+// (and an optional CSV dump for plotting).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lmk {
+
+/// Accumulates rows of string cells and prints them column-aligned.
+class TablePrinter {
+ public:
+  /// Create a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Append one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render to a column-aligned string (header, rule, rows).
+  [[nodiscard]] std::string str() const;
+
+  /// Render as CSV (header row plus data rows).
+  [[nodiscard]] std::string csv() const;
+
+  /// Print `str()` to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with the given number of decimals (bench output).
+[[nodiscard]] std::string fmt(double v, int decimals = 3);
+
+}  // namespace lmk

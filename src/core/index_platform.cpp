@@ -1,0 +1,544 @@
+#include "core/index_platform.hpp"
+
+#include <algorithm>
+
+#include "balance/rotation.hpp"
+#include "common/check.hpp"
+
+namespace lmk {
+
+IndexPlatform::IndexPlatform(Ring& ring, Options opts)
+    : ring_(ring),
+      opts_(opts),
+      router_(
+          ring,
+          [this](const RangeQuery& q, ChordNode& n) { on_solve(q, n); },
+          [this](std::uint64_t qid, int d) { on_fanout(qid, d); },
+          [this](std::uint64_t qid, std::uint64_t b) { on_sent(qid, b); }),
+      naive_(
+          ring,
+          [this](const RangeQuery& q, ChordNode& n) { on_solve(q, n); },
+          [this](std::uint64_t qid, int d) { on_fanout(qid, d); },
+          opts.naive_split_depth,
+          [this](std::uint64_t qid, std::uint64_t b) { on_sent(qid, b); }) {}
+
+std::uint32_t IndexPlatform::register_scheme(const std::string& name,
+                                             Boundary boundary, bool rotate) {
+  LMK_CHECK(!boundary.empty());
+  auto scheme = std::make_unique<SchemeRouting>();
+  scheme->scheme_id = static_cast<std::uint32_t>(schemes_.size());
+  scheme->boundary = std::move(boundary);
+  scheme->rotation = rotate ? rotation_offset(name) : 0;
+  scheme->query_message_bytes = query_message_size(scheme->boundary.size());
+  schemes_.push_back(std::move(scheme));
+  scheme_names_.push_back(name);
+  // Existing stores grow a slot for the new scheme lazily via entries().
+  return schemes_.back()->scheme_id;
+}
+
+void IndexPlatform::update_scheme_boundary(std::uint32_t id,
+                                           Boundary boundary) {
+  LMK_CHECK(id < schemes_.size());
+  LMK_CHECK(boundary.size() == schemes_[id]->boundary.size());
+  LMK_CHECK(scheme_entries(id) == 0);
+  schemes_[id]->boundary = std::move(boundary);
+}
+
+const SchemeRouting& IndexPlatform::scheme(std::uint32_t id) const {
+  LMK_CHECK(id < schemes_.size());
+  return *schemes_[id];
+}
+
+const std::string& IndexPlatform::scheme_name(std::uint32_t id) const {
+  LMK_CHECK(id < scheme_names_.size());
+  return scheme_names_[id];
+}
+
+IndexPlatform::NodeStore& IndexPlatform::store_of(const ChordNode& n) {
+  NodeStore& s = stores_[&n];
+  if (s.per_scheme.size() < schemes_.size()) {
+    s.per_scheme.resize(schemes_.size());
+  }
+  return s;
+}
+
+std::vector<IndexEntry>& IndexPlatform::entries(const ChordNode& n,
+                                                std::uint32_t scheme) {
+  LMK_CHECK(scheme < schemes_.size());
+  return store_of(n).per_scheme[scheme];
+}
+
+std::vector<ChordNode*> IndexPlatform::replica_nodes(Id key) const {
+  std::vector<ChordNode*> out;
+  ChordNode* owner = ring_.oracle_successor(key);
+  out.push_back(owner);
+  // Walk the successor chain for the remaining copies (distinct nodes).
+  ChordNode* cur = owner;
+  while (out.size() < opts_.replication) {
+    cur = ring_.oracle_successor(cur->id() + 1);
+    if (cur == owner) break;  // ring smaller than the replication degree
+    out.push_back(cur);
+  }
+  return out;
+}
+
+void IndexPlatform::insert(std::uint32_t scheme_id, std::uint64_t object,
+                           const IndexPoint& point) {
+  const SchemeRouting& sch = scheme(scheme_id);
+  Id key = lph_hash(point, sch.boundary) + sch.rotation;
+  for (ChordNode* node : replica_nodes(key)) {
+    entries(*node, scheme_id).push_back(IndexEntry{key, object, point});
+  }
+}
+
+void IndexPlatform::insert_via_network(ChordNode& origin,
+                                       std::uint32_t scheme_id,
+                                       std::uint64_t object, IndexPoint point,
+                                       std::function<void(int hops)> done) {
+  const SchemeRouting& sch = scheme(scheme_id);
+  Id key = lph_hash(point, sch.boundary) + sch.rotation;
+  ring_.find_successor(
+      origin, key,
+      [this, scheme_id, object, key, point = std::move(point),
+       done = std::move(done)](NodeRef owner, int hops) {
+        entries(*owner.node, scheme_id)
+            .push_back(IndexEntry{key, object, point});
+        // Replica propagation: the owner pushes copies down its
+        // successor chain (modeled as oracle placement; the one-hop
+        // store messages are not part of the paper's cost model).
+        for (ChordNode* replica : replica_nodes(key)) {
+          if (replica == owner.node) continue;
+          entries(*replica, scheme_id)
+              .push_back(IndexEntry{key, object, point});
+        }
+        if (done) done(hops);
+      });
+}
+
+namespace {
+
+bool erase_entry(std::vector<IndexEntry>& vec, std::uint64_t object, Id key) {
+  for (auto it = vec.begin(); it != vec.end(); ++it) {
+    if (it->object == object && it->key == key) {
+      vec.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IndexPlatform::remove(std::uint32_t scheme_id, std::uint64_t object,
+                           const IndexPoint& point) {
+  const SchemeRouting& sch = scheme(scheme_id);
+  Id key = lph_hash(point, sch.boundary) + sch.rotation;
+  bool removed = false;
+  for (ChordNode* node : replica_nodes(key)) {
+    removed |= erase_entry(entries(*node, scheme_id), object, key);
+  }
+  return removed;
+}
+
+void IndexPlatform::remove_via_network(
+    ChordNode& origin, std::uint32_t scheme_id, std::uint64_t object,
+    IndexPoint point, std::function<void(bool removed, int hops)> done) {
+  const SchemeRouting& sch = scheme(scheme_id);
+  Id key = lph_hash(point, sch.boundary) + sch.rotation;
+  ring_.find_successor(
+      origin, key,
+      [this, scheme_id, object, key, done = std::move(done)](NodeRef owner,
+                                                             int hops) {
+        (void)owner;  // replica_nodes(key) starts at the owner
+        bool removed = false;
+        for (ChordNode* replica : replica_nodes(key)) {
+          removed |= erase_entry(entries(*replica, scheme_id), object, key);
+        }
+        if (done) done(removed, hops);
+      });
+}
+
+void IndexPlatform::clear_scheme(std::uint32_t scheme_id) {
+  LMK_CHECK(scheme_id < schemes_.size());
+  for (auto& [node, store] : stores_) {
+    if (scheme_id < store.per_scheme.size()) {
+      store.per_scheme[scheme_id].clear();
+    }
+  }
+}
+
+std::size_t IndexPlatform::scheme_entries(std::uint32_t scheme_id) const {
+  std::size_t total = 0;
+  for (const auto& [node, store] : stores_) {
+    if (!node->alive()) continue;  // crashed copies are lost
+    if (scheme_id < store.per_scheme.size()) {
+      total += store.per_scheme[scheme_id].size();
+    }
+  }
+  return total;
+}
+
+std::size_t IndexPlatform::total_entries() const {
+  std::size_t total = 0;
+  for (const auto& [node, store] : stores_) {
+    if (!node->alive()) continue;  // crashed copies are lost
+    for (const auto& vec : store.per_scheme) total += vec.size();
+  }
+  return total;
+}
+
+void IndexPlatform::range_query(ChordNode& origin, std::uint32_t scheme_id,
+                                const IndexPoint& center, double radius,
+                                ReplyMode mode, QueryCallback done,
+                                DistanceFn rank) {
+  region_query(origin, scheme_id, query_region(center, radius), center, mode,
+               std::move(done), std::move(rank));
+}
+
+void IndexPlatform::region_query(ChordNode& origin, std::uint32_t scheme_id,
+                                 Region region, IndexPoint focus,
+                                 ReplyMode mode, QueryCallback done,
+                                 DistanceFn rank) {
+  LMK_CHECK(done != nullptr);
+  const SchemeRouting& sch = scheme(scheme_id);
+  std::uint64_t qid = next_qid_++;
+  RangeQuery q;
+  if (!make_query(sch, qid, origin.host(), std::move(region),
+                  std::move(focus), &q)) {
+    QueryOutcome empty;
+    empty.complete = true;
+    done(empty);
+    return;
+  }
+  ActiveQuery aq;
+  aq.scheme = scheme_id;
+  aq.origin = origin.host();
+  aq.mode = mode;
+  aq.t0 = ring_.sim().now();
+  aq.outstanding = 1;
+  aq.done = std::move(done);
+  aq.rank = std::move(rank);
+  active_.emplace(qid, std::move(aq));
+  if (opts_.routing == RoutingMode::kTree) {
+    router_.start(origin, std::move(q));
+  } else {
+    naive_.start(origin, std::move(q));
+  }
+}
+
+void IndexPlatform::on_fanout(std::uint64_t qid, int delta) {
+  auto it = active_.find(qid);
+  LMK_CHECK(it != active_.end());
+  it->second.outstanding += delta;
+  if (delta < 0) it->second.outcome.lost_subqueries += -delta;
+  LMK_CHECK(it->second.outstanding >= 0);
+  maybe_complete(qid);
+}
+
+void IndexPlatform::on_sent(std::uint64_t qid, std::uint64_t bytes) {
+  auto it = active_.find(qid);
+  LMK_CHECK(it != active_.end());
+  ++it->second.outcome.query_messages;
+  it->second.outcome.query_bytes += bytes;
+}
+
+void IndexPlatform::on_solve(const RangeQuery& q, ChordNode& node) {
+  auto it = active_.find(q.qid);
+  LMK_CHECK(it != active_.end());
+  ActiveQuery& aq = it->second;
+
+  // Collect the local matches: stored entries whose index point lies in
+  // the (closed) query region, scored for the per-node top-k cut —
+  // by true metric distance when the query carries a ranking function
+  // (distributed refinement), else by the contractive L-inf lower bound.
+  PendingReply& reply = pending_replies_[q.qid][&node];
+  std::uint64_t evaluated = 0;
+  for (const IndexEntry& e : entries(node, aq.scheme)) {
+    bool inside = true;
+    for (std::size_t d = 0; d < e.point.size(); ++d) {
+      const Interval& r = q.region.ranges[d];
+      if (e.point[d] < r.lo || e.point[d] > r.hi) {
+        inside = false;
+        break;
+      }
+    }
+    if (!inside) continue;
+    ++evaluated;
+    double score = aq.rank ? aq.rank(e.object)
+                           : index_lower_bound(e.point, q.focus);
+    reply.scored.emplace_back(score, e.object);
+  }
+
+  aq.outcome.subqueries += 1;
+  aq.outcome.hops = std::max(aq.outcome.hops, q.hops);
+  aq.outcome.candidates += evaluated;
+  std::uint64_t& node_cand = aq.node_candidates[&node];
+  node_cand += evaluated;
+  aq.outcome.max_node_candidates =
+      std::max(aq.outcome.max_node_candidates, node_cand);
+  aq.outcome.index_nodes = static_cast<int>(aq.node_candidates.size());
+  aq.outstanding -= 1;
+  LMK_CHECK(aq.outstanding >= 0);
+
+  if (!reply.flush_scheduled) {
+    // One reply per (query, node) per processing step: keep it pending
+    // until a zero-delay self event fires, so every subquery this node
+    // solves in the same step lands in the same result message.
+    reply.flush_scheduled = true;
+    aq.replies_pending += 1;
+    std::uint64_t qid = q.qid;
+    ChordNode* node_ptr = &node;
+    ring_.sim().schedule_after(0, [this, qid, node_ptr]() {
+      flush_reply(qid, *node_ptr);
+    });
+  }
+}
+
+void IndexPlatform::flush_reply(std::uint64_t qid, ChordNode& node) {
+  auto it = active_.find(qid);
+  LMK_CHECK(it != active_.end());
+  ActiveQuery& aq = it->second;
+  auto qit = pending_replies_.find(qid);
+  LMK_CHECK(qit != pending_replies_.end());
+  auto nit = qit->second.find(&node);
+  LMK_CHECK(nit != qit->second.end());
+  PendingReply reply = std::move(nit->second);
+  qit->second.erase(nit);
+  if (qit->second.empty()) pending_replies_.erase(qit);
+
+  // An entry lying exactly on a split plane belongs to both sibling
+  // subqueries (closed regions), so it can be scored twice; drop
+  // duplicates before the cut or they crowd out distinct candidates.
+  std::sort(reply.scored.begin(), reply.scored.end(),
+            [](const auto& a, const auto& b) {
+              return a.second != b.second ? a.second < b.second
+                                          : a.first < b.first;
+            });
+  reply.scored.erase(std::unique(reply.scored.begin(), reply.scored.end(),
+                                 [](const auto& a, const auto& b) {
+                                   return a.second == b.second;
+                                 }),
+                     reply.scored.end());
+  // Per-node top-k cut (paper: "the 10-nearest local results").
+  if (aq.mode == ReplyMode::kTopK && reply.scored.size() > opts_.top_k) {
+    auto cut =
+        reply.scored.begin() + static_cast<std::ptrdiff_t>(opts_.top_k);
+    std::nth_element(reply.scored.begin(), cut, reply.scored.end());
+    reply.scored.resize(opts_.top_k);
+  }
+  std::vector<std::uint64_t> ids;
+  ids.reserve(reply.scored.size());
+  for (const auto& [score, object] : reply.scored) ids.push_back(object);
+
+  const SchemeRouting& sch = scheme(aq.scheme);
+  std::uint64_t bytes =
+      sch.result_header_bytes + sch.result_entry_bytes * ids.size();
+  aq.outcome.result_messages += 1;
+  aq.outcome.result_bytes += bytes;
+
+  // Ship the reply to the querying host.
+  ring_.net().send(node.host(), aq.origin, bytes,
+                   [this, qid, ids = std::move(ids)]() {
+                     auto it2 = active_.find(qid);
+                     if (it2 == active_.end()) return;
+                     ActiveQuery& a = it2->second;
+                     SimTime now = ring_.sim().now();
+                     if (!a.got_first_reply) {
+                       a.got_first_reply = true;
+                       a.outcome.response_time = now - a.t0;
+                     }
+                     a.outcome.max_latency = now - a.t0;
+                     for (std::uint64_t id : ids) {
+                       if (a.seen.insert(id).second) {
+                         a.outcome.results.push_back(id);
+                       }
+                     }
+                     a.replies_pending -= 1;
+                     maybe_complete(qid);
+                   },
+                   &result_traffic_);
+}
+
+void IndexPlatform::maybe_complete(std::uint64_t qid) {
+  auto it = active_.find(qid);
+  if (it == active_.end()) return;
+  ActiveQuery& aq = it->second;
+  if (aq.outstanding != 0 || aq.replies_pending != 0) return;
+  QueryOutcome outcome = std::move(aq.outcome);
+  outcome.complete = true;
+  QueryCallback done = std::move(aq.done);
+  active_.erase(it);
+  done(outcome);
+}
+
+std::size_t IndexPlatform::entries_on(const ChordNode& n) const {
+  auto it = stores_.find(&n);
+  if (it == stores_.end()) return 0;
+  std::size_t total = 0;
+  for (const auto& vec : it->second.per_scheme) total += vec.size();
+  return total;
+}
+
+std::vector<std::size_t> IndexPlatform::load_distribution() const {
+  std::vector<std::size_t> out;
+  for (const ChordNode* n : ring_.alive_nodes()) {
+    out.push_back(entries_on(*n));
+  }
+  return out;
+}
+
+void IndexPlatform::drain_all(ChordNode& from, ChordNode& to) {
+  NodeStore& src = store_of(from);
+  NodeStore& dst = store_of(to);
+  for (std::size_t s = 0; s < src.per_scheme.size(); ++s) {
+    auto& sv = src.per_scheme[s];
+    auto& dv = dst.per_scheme[s];
+    dv.insert(dv.end(), std::make_move_iterator(sv.begin()),
+              std::make_move_iterator(sv.end()));
+    sv.clear();
+  }
+}
+
+void IndexPlatform::transfer_owned(ChordNode& from, ChordNode& to) {
+  LMK_CHECK(to.predecessor().valid());
+  Id lo = to.predecessor().id;
+  Id hi = to.id();
+  NodeStore& src = store_of(from);
+  NodeStore& dst = store_of(to);
+  for (std::size_t s = 0; s < src.per_scheme.size(); ++s) {
+    auto& sv = src.per_scheme[s];
+    auto& dv = dst.per_scheme[s];
+    auto keep_end = std::partition(
+        sv.begin(), sv.end(),
+        [lo, hi](const IndexEntry& e) { return !in_open_closed(e.key, lo, hi); });
+    dv.insert(dv.end(), std::make_move_iterator(keep_end),
+              std::make_move_iterator(sv.end()));
+    sv.erase(keep_end, sv.end());
+  }
+}
+
+Id IndexPlatform::median_key(const ChordNode& n) const {
+  LMK_CHECK(n.predecessor().valid());
+  Id pred = n.predecessor().id;
+  auto it = stores_.find(&n);
+  if (it == stores_.end()) return pred;
+  // Collect keys in ring order from the predecessor.
+  std::vector<Id> offsets;
+  for (const auto& vec : it->second.per_scheme) {
+    for (const IndexEntry& e : vec) {
+      offsets.push_back(clockwise_distance(pred, e.key));
+    }
+  }
+  if (offsets.empty()) return pred;
+  std::sort(offsets.begin(), offsets.end());
+  // The split key: the largest entry key in the first half. A node
+  // rejoining at pred + offset takes every entry at or below it.
+  std::size_t half = offsets.size() / 2;
+  if (half == 0) return pred;
+  Id split_offset = offsets[half - 1];
+  // All entries on one key: the load cannot be divided (paper §4.3).
+  if (split_offset == offsets.back() && offsets.front() == offsets.back()) {
+    return pred;
+  }
+  // If the nominal split would take everything, back off to the largest
+  // strictly smaller key so the heavy node keeps the top cluster.
+  if (split_offset == offsets.back()) {
+    auto lower = std::lower_bound(offsets.begin(), offsets.end(),
+                                  split_offset);
+    LMK_CHECK(lower != offsets.begin());
+    split_offset = *(lower - 1);
+  }
+  return pred + split_offset;
+}
+
+LoadBalancer::Hooks IndexPlatform::balancer_hooks() {
+  LoadBalancer::Hooks hooks;
+  hooks.load = [this](const ChordNode& n) {
+    return static_cast<double>(entries_on(n));
+  };
+  hooks.split_key = [this](const ChordNode& n) { return median_key(n); };
+  hooks.drain_to = [this](ChordNode& from, ChordNode& to) {
+    drain_all(from, to);
+  };
+  hooks.pull_owned = [this](ChordNode& from, ChordNode& to) {
+    transfer_owned(from, to);
+  };
+  return hooks;
+}
+
+const TrafficCounter& IndexPlatform::query_traffic() const {
+  return opts_.routing == RoutingMode::kTree ? router_.traffic()
+                                             : naive_.traffic();
+}
+
+const std::vector<IndexEntry>& IndexPlatform::store(const ChordNode& n,
+                                                    std::uint32_t scheme)
+    const {
+  static const std::vector<IndexEntry> kEmpty;
+  auto it = stores_.find(&n);
+  if (it == stores_.end() || scheme >= it->second.per_scheme.size()) {
+    return kEmpty;
+  }
+  return it->second.per_scheme[scheme];
+}
+
+void IndexPlatform::check_placement_invariant() const {
+  for (const auto& [node, store] : stores_) {
+    // Dead nodes are skipped: graceful leavers drained to empty, and a
+    // crashed node's copies are simply lost (wiped by the next repair).
+    if (!node->alive()) continue;
+    for (const auto& vec : store.per_scheme) {
+      for (const IndexEntry& e : vec) {
+        if (opts_.replication <= 1) {
+          LMK_CHECK(node->owns(e.key));
+        } else {
+          auto replicas = replica_nodes(e.key);
+          bool member = false;
+          for (ChordNode* r : replicas) member |= (r == node);
+          LMK_CHECK(member);
+        }
+      }
+    }
+  }
+}
+
+void IndexPlatform::repair_replication() {
+  // Gather the distinct logical entries per scheme, then rebuild every
+  // store with oracle-correct replicated placement. O(total entries);
+  // a deployment would repair incrementally, but the end state is the
+  // same and this keeps the simulator honest after arbitrary churn.
+  struct Logical {
+    Id key;
+    std::uint64_t object;
+    IndexPoint point;
+  };
+  std::vector<std::vector<Logical>> per_scheme(schemes_.size());
+  std::vector<std::unordered_map<std::uint64_t, std::unordered_set<Id>>>
+      seen(schemes_.size());
+  for (auto& [node, store] : stores_) {
+    bool dead = !node->alive();
+    for (std::size_t sc = 0; sc < store.per_scheme.size(); ++sc) {
+      if (!dead) {
+        for (IndexEntry& e : store.per_scheme[sc]) {
+          if (seen[sc][e.object].insert(e.key).second) {
+            per_scheme[sc].push_back(
+                Logical{e.key, e.object, std::move(e.point)});
+          }
+        }
+      }
+      // Dead stores are purged either way: their copies are lost, and a
+      // node reviving later must not resurrect stale data.
+      store.per_scheme[sc].clear();
+    }
+  }
+  for (std::size_t sc = 0; sc < per_scheme.size(); ++sc) {
+    for (Logical& l : per_scheme[sc]) {
+      for (ChordNode* node : replica_nodes(l.key)) {
+        entries(*node, static_cast<std::uint32_t>(sc))
+            .push_back(IndexEntry{l.key, l.object, l.point});
+      }
+    }
+  }
+}
+
+}  // namespace lmk

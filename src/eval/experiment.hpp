@@ -1,0 +1,204 @@
+// Shared experiment driver: assembles the full stack (topology →
+// simulator → Chord → platform → typed index), loads a dataset, applies
+// optional load balancing, and replays query batches with the paper's
+// arrival process, collecting QueryStats. Every figure bench is a thin
+// parameter sweep over this driver.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "balance/migration.hpp"
+#include "core/typed_index.hpp"
+#include "eval/ground_truth.hpp"
+#include "eval/metrics.hpp"
+
+namespace lmk {
+
+/// Stack-wide experiment configuration (defaults follow §4.1).
+struct ExperimentConfig {
+  std::size_t nodes = 256;           ///< overlay size (paper topology: 1740)
+  std::uint64_t seed = 42;
+  SimTime target_mean_rtt = 180 * kMillisecond;
+  SimTime mean_interarrival = 150 * kSecond;  ///< exp. query arrivals
+  std::size_t top_k = 10;            ///< per-node local results & recall k
+  bool pns = true;                   ///< Chord-PNS (paper default)
+  bool rotate = false;               ///< static space-mapping rotation
+  bool load_balance = false;         ///< dynamic load migration
+  double delta = 0.0;                ///< balancing threshold factor δ
+  int probe_level = 4;               ///< balancing probing level P_l
+  RoutingMode routing = RoutingMode::kTree;
+  int naive_split_depth = 10;        ///< client decomposition (naive mode)
+};
+
+/// End-to-end experiment over one metric space / one index scheme.
+template <MetricSpace S>
+class SimilarityExperiment {
+ public:
+  using Point = typename S::Point;
+
+  /// Builds the whole stack and bulk-loads `dataset`. The mapper (and
+  /// thus the landmark selection) is provided by the caller so benches
+  /// can sweep selection schemes. If cfg.load_balance is set, dynamic
+  /// migration runs to stability before any queries.
+  SimilarityExperiment(ExperimentConfig cfg, const S& space,
+                       std::vector<Point> dataset, LandmarkMapper<S> mapper,
+                       const std::string& scheme_name)
+      : cfg_(cfg),
+        space_(space),
+        dataset_(std::move(dataset)),
+        rng_(cfg.seed) {
+    DelaySpaceModel::Options topo;
+    topo.hosts = cfg.nodes;
+    topo.target_mean_rtt = cfg.target_mean_rtt;
+    topo.seed = rng_.fork().next();
+    topology_ = std::make_unique<DelaySpaceModel>(topo);
+    net_ = std::make_unique<Network>(sim_, *topology_);
+    Ring::Options ring_opts;
+    ring_opts.pns = cfg.pns;
+    ring_opts.seed = rng_.fork().next();
+    ring_ = std::make_unique<Ring>(*net_, ring_opts);
+    for (std::size_t h = 0; h < cfg.nodes; ++h) {
+      ring_->create_node(static_cast<HostId>(h));
+    }
+    ring_->bootstrap();
+    IndexPlatform::Options popts;
+    popts.top_k = cfg.top_k;
+    popts.routing = cfg.routing;
+    popts.naive_split_depth = cfg.naive_split_depth;
+    platform_ = std::make_unique<IndexPlatform>(*ring_, popts);
+    index_ = std::make_unique<LandmarkIndex<S>>(
+        *platform_, space_, std::move(mapper), scheme_name, cfg.rotate);
+    index_->bind_objects([this](std::uint64_t id) -> const Point& {
+      return dataset_[static_cast<std::size_t>(id)];
+    });
+    for (std::size_t i = 0; i < dataset_.size(); ++i) {
+      index_->insert(static_cast<std::uint64_t>(i), dataset_[i]);
+    }
+    if (cfg.load_balance) {
+      LoadBalancer::Options bopts;
+      bopts.delta = cfg.delta;
+      bopts.probe_level = cfg.probe_level;
+      balancer_ = std::make_unique<LoadBalancer>(*ring_, bopts,
+                                                 platform_->balancer_hooks());
+      balancer_->run_until_stable();
+      platform_->check_placement_invariant();
+    }
+  }
+
+  /// Install the query workload; ground-truth k-NN sets are computed
+  /// lazily per query and cached across batches (they do not depend on
+  /// the radius).
+  void set_queries(std::vector<Point> queries) {
+    queries_ = std::move(queries);
+    truth_cache_.assign(queries_.size(), std::nullopt);
+  }
+
+  /// Variant with precomputed ground truth (benches share one
+  /// brute-force pass across several experiment instances over the same
+  /// dataset and query set).
+  void set_queries(std::vector<Point> queries,
+                   std::vector<std::vector<std::uint64_t>> truth) {
+    LMK_CHECK(truth.size() == queries.size());
+    queries_ = std::move(queries);
+    truth_cache_.clear();
+    truth_cache_.reserve(truth.size());
+    for (auto& t : truth) truth_cache_.emplace_back(std::move(t));
+  }
+
+  /// Compute the brute-force k-NN truth for a query set over a dataset
+  /// (shareable across experiments; see set_queries overload).
+  static std::vector<std::vector<std::uint64_t>> compute_truth(
+      const S& space, const std::vector<Point>& dataset,
+      const std::vector<Point>& queries, std::size_t k) {
+    std::vector<std::vector<std::uint64_t>> out;
+    out.reserve(queries.size());
+    for (const Point& q : queries) {
+      out.push_back(knn_bruteforce(
+          dataset.size(),
+          [&](std::size_t j) { return space.distance(q, dataset[j]); }, k));
+    }
+    return out;
+  }
+
+  /// Run every installed query once as a range query of the given
+  /// radius: exponential interarrivals, random origin nodes, per-node
+  /// top-k replies, querier-side true-distance refinement, recall@k
+  /// against brute force.
+  [[nodiscard]] QueryStats run_batch(double radius) {
+    QueryStats stats;
+    std::vector<ChordNode*> nodes = ring_->alive_nodes();
+    Rng arrivals = rng_.fork();
+    SimTime t = sim_.now();
+    for (std::size_t i = 0; i < queries_.size(); ++i) {
+      t += static_cast<SimTime>(
+          arrivals.exponential(static_cast<double>(cfg_.mean_interarrival)));
+      ChordNode* origin = nodes[arrivals.below(nodes.size())];
+      sim_.schedule_at(t, [this, i, radius, origin, &stats]() {
+        index_->range_query(
+            *origin, queries_[i], radius, ReplyMode::kTopK,
+            [this, i, &stats](const IndexPlatform::QueryOutcome& outcome) {
+              auto object = [this](std::uint64_t id) -> const Point& {
+                return dataset_[static_cast<std::size_t>(id)];
+              };
+              std::vector<std::uint64_t> retrieved = index_->refine_knn(
+                  queries_[i], outcome.results, object, cfg_.top_k);
+              stats.add(outcome, recall(truth(i), retrieved));
+            });
+      });
+    }
+    sim_.run();
+    return stats;
+  }
+
+  /// Node loads (index entries), sorted descending — the paper's load
+  /// distribution figures (4 and 6).
+  [[nodiscard]] std::vector<std::size_t> load_curve() const {
+    std::vector<std::size_t> loads = platform_->load_distribution();
+    std::sort(loads.begin(), loads.end(), std::greater<>());
+    return loads;
+  }
+
+  [[nodiscard]] const std::vector<Point>& dataset() const { return dataset_; }
+  [[nodiscard]] const std::vector<Point>& queries() const { return queries_; }
+  IndexPlatform& platform() { return *platform_; }
+  Ring& ring() { return *ring_; }
+  Simulator& sim() { return sim_; }
+  LandmarkIndex<S>& index() { return *index_; }
+  [[nodiscard]] int migrations() const {
+    return balancer_ ? balancer_->migrations() : 0;
+  }
+
+ private:
+  [[nodiscard]] const std::vector<std::uint64_t>& truth(std::size_t qi) {
+    auto& slot = truth_cache_[qi];
+    if (!slot.has_value()) {
+      const Point& q = queries_[qi];
+      slot = knn_bruteforce(
+          dataset_.size(),
+          [this, &q](std::size_t j) { return space_.distance(q, dataset_[j]); },
+          cfg_.top_k);
+    }
+    return *slot;
+  }
+
+  ExperimentConfig cfg_;
+  const S& space_;
+  std::vector<Point> dataset_;
+  std::vector<Point> queries_;
+  std::vector<std::optional<std::vector<std::uint64_t>>> truth_cache_;
+  Rng rng_;
+  Simulator sim_;
+  std::unique_ptr<DelaySpaceModel> topology_;
+  std::unique_ptr<Network> net_;
+  std::unique_ptr<Ring> ring_;
+  std::unique_ptr<IndexPlatform> platform_;
+  std::unique_ptr<LandmarkIndex<S>> index_;
+  std::unique_ptr<LoadBalancer> balancer_;
+};
+
+}  // namespace lmk

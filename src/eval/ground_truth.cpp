@@ -1,0 +1,50 @@
+#include "eval/ground_truth.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.hpp"
+
+namespace lmk {
+
+std::vector<std::uint64_t> knn_bruteforce(
+    std::size_t n, const std::function<double(std::size_t)>& distance_to,
+    std::size_t k) {
+  LMK_CHECK(distance_to != nullptr);
+  std::vector<std::pair<double, std::uint64_t>> scored;
+  scored.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scored.emplace_back(distance_to(i), static_cast<std::uint64_t>(i));
+  }
+  std::size_t keep = std::min(k, scored.size());
+  std::partial_sort(scored.begin(),
+                    scored.begin() + static_cast<std::ptrdiff_t>(keep),
+                    scored.end());
+  std::vector<std::uint64_t> out;
+  out.reserve(keep);
+  for (std::size_t i = 0; i < keep; ++i) out.push_back(scored[i].second);
+  return out;
+}
+
+std::vector<std::uint64_t> range_bruteforce(
+    std::size_t n, const std::function<double(std::size_t)>& distance_to,
+    double radius) {
+  std::vector<std::uint64_t> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (distance_to(i) <= radius) out.push_back(static_cast<std::uint64_t>(i));
+  }
+  return out;
+}
+
+double recall(std::span<const std::uint64_t> truth,
+              std::span<const std::uint64_t> retrieved) {
+  if (truth.empty()) return 1.0;
+  std::unordered_set<std::uint64_t> got(retrieved.begin(), retrieved.end());
+  std::size_t hit = 0;
+  for (std::uint64_t t : truth) {
+    if (got.count(t) != 0) ++hit;
+  }
+  return static_cast<double>(hit) / static_cast<double>(truth.size());
+}
+
+}  // namespace lmk

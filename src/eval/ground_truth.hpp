@@ -1,0 +1,29 @@
+// Exact brute-force answers used to score the distributed index
+// (paper §4.1: "the k-nearest data objects obtained by searching the
+// whole dataset ... are considered as the theoretical results").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace lmk {
+
+/// The k nearest object ids among {0..n-1} by the given distance
+/// functional, ascending distance, ties broken by id (deterministic).
+[[nodiscard]] std::vector<std::uint64_t> knn_bruteforce(
+    std::size_t n, const std::function<double(std::size_t)>& distance_to,
+    std::size_t k);
+
+/// All object ids within `radius` (inclusive) of the query.
+[[nodiscard]] std::vector<std::uint64_t> range_bruteforce(
+    std::size_t n, const std::function<double(std::size_t)>& distance_to,
+    double radius);
+
+/// Recall = |truth ∩ retrieved| / |truth| (paper §4.1). 1.0 when the
+/// truth set is empty (nothing to find).
+[[nodiscard]] double recall(std::span<const std::uint64_t> truth,
+                            std::span<const std::uint64_t> retrieved);
+
+}  // namespace lmk

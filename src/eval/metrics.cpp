@@ -1,0 +1,55 @@
+#include "eval/metrics.hpp"
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace lmk {
+
+void QueryStats::add(const IndexPlatform::QueryOutcome& outcome,
+                     double recall_value) {
+  recall.add(recall_value);
+  hops.add(outcome.hops);
+  response_ms.add(static_cast<double>(outcome.response_time) / kMillisecond);
+  max_latency_ms.add(static_cast<double>(outcome.max_latency) / kMillisecond);
+  latency_samples_ms.push_back(static_cast<double>(outcome.max_latency) /
+                               kMillisecond);
+  query_bytes.add(static_cast<double>(outcome.query_bytes));
+  result_bytes.add(static_cast<double>(outcome.result_bytes));
+  total_bytes.add(
+      static_cast<double>(outcome.query_bytes + outcome.result_bytes));
+  query_messages.add(static_cast<double>(outcome.query_messages));
+  index_nodes.add(outcome.index_nodes);
+  subqueries.add(outcome.subqueries);
+  candidates.add(static_cast<double>(outcome.candidates));
+  max_node_cand.add(static_cast<double>(outcome.max_node_candidates));
+  if (outcome.lost_subqueries > 0) ++incomplete;
+}
+
+double QueryStats::p95_latency_ms() const {
+  if (latency_samples_ms.empty()) return 0.0;
+  return percentile(latency_samples_ms, 95);
+}
+
+std::vector<std::string> QueryStats::header() {
+  return {"label",     "recall", "hops",  "resp_ms",    "maxlat_ms",
+          "qry_B",     "res_B",  "total_B", "qry_msgs", "nodes",
+          "subqueries", "cand",  "node_cand"};
+}
+
+std::vector<std::string> QueryStats::row(const std::string& label) const {
+  return {label,
+          fmt(recall.mean(), 3),
+          fmt(hops.mean(), 2),
+          fmt(response_ms.mean(), 1),
+          fmt(max_latency_ms.mean(), 1),
+          fmt(query_bytes.mean(), 0),
+          fmt(result_bytes.mean(), 0),
+          fmt(total_bytes.mean(), 0),
+          fmt(query_messages.mean(), 1),
+          fmt(index_nodes.mean(), 1),
+          fmt(subqueries.mean(), 1),
+          fmt(candidates.mean(), 0),
+          fmt(max_node_cand.mean(), 0)};
+}
+
+}  // namespace lmk

@@ -1,0 +1,42 @@
+// Aggregation of the paper's per-query cost metrics over a batch.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/index_platform.hpp"
+
+namespace lmk {
+
+/// Means (and extremes) of the §4.1 metrics over a query batch.
+struct QueryStats {
+  Accumulator recall;           ///< recall@k against brute force
+  Accumulator hops;             ///< max path length per query
+  Accumulator response_ms;      ///< first-result latency, milliseconds
+  Accumulator max_latency_ms;   ///< all-results latency, milliseconds
+  Accumulator query_bytes;      ///< query-delivery bandwidth per query
+  Accumulator result_bytes;     ///< results-delivery bandwidth per query
+  Accumulator total_bytes;      ///< both directions
+  Accumulator query_messages;   ///< query-delivery messages per query
+  Accumulator index_nodes;      ///< distinct index nodes contacted
+  Accumulator subqueries;       ///< local solves per query
+  Accumulator candidates;       ///< refinement candidates, total
+  Accumulator max_node_cand;    ///< busiest node's refinement share
+  std::size_t incomplete = 0;   ///< queries that lost subqueries
+  std::vector<double> latency_samples_ms;  ///< raw max-latency samples
+
+  /// 95th-percentile all-results latency over the batch (ms).
+  [[nodiscard]] double p95_latency_ms() const;
+
+  /// Fold one finished query into the batch statistics.
+  void add(const IndexPlatform::QueryOutcome& outcome, double recall_value);
+
+  /// Header cells matching `row()` (for TablePrinter).
+  [[nodiscard]] static std::vector<std::string> header();
+
+  /// One formatted row: label followed by the metric means.
+  [[nodiscard]] std::vector<std::string> row(const std::string& label) const;
+};
+
+}  // namespace lmk

@@ -1,0 +1,63 @@
+#include "ir/expansion.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.hpp"
+
+namespace lmk {
+
+SparseVector rocchio_expand(const SparseVector& query,
+                            std::span<const SparseVector> feedback,
+                            const RocchioOptions& opts) {
+  LMK_CHECK(opts.alpha > 0);
+  LMK_CHECK(opts.beta >= 0);
+  if (feedback.empty() || opts.beta == 0) return query;
+
+  // Centroid of the (unit-normalized) feedback documents.
+  SparseVector centroid;
+  std::size_t used = 0;
+  for (const SparseVector& doc : feedback) {
+    if (used >= opts.feedback_docs) break;
+    if (doc.empty()) continue;
+    centroid.add_scaled(doc, 1.0 / doc.norm());
+    ++used;
+  }
+  if (centroid.empty()) return query;
+  centroid.scale(1.0 / static_cast<double>(used));
+
+  // Keep only the strongest `expansion_terms` centroid terms that are
+  // new to the query; the original terms always contribute fully.
+  std::unordered_set<std::uint32_t> original;
+  for (const SparseEntry& e : query.entries()) original.insert(e.term);
+  std::vector<SparseEntry> new_terms;
+  for (const SparseEntry& e : centroid.entries()) {
+    if (original.count(e.term) == 0) new_terms.push_back(e);
+  }
+  if (new_terms.size() > opts.expansion_terms) {
+    std::nth_element(new_terms.begin(),
+                     new_terms.begin() +
+                         static_cast<std::ptrdiff_t>(opts.expansion_terms),
+                     new_terms.end(),
+                     [](const SparseEntry& a, const SparseEntry& b) {
+                       return a.weight > b.weight;
+                     });
+    new_terms.resize(opts.expansion_terms);
+  }
+
+  std::vector<SparseEntry> combined;
+  for (const SparseEntry& e : query.entries()) {
+    combined.push_back(SparseEntry{e.term, opts.alpha * e.weight});
+  }
+  for (const SparseEntry& e : centroid.entries()) {
+    if (original.count(e.term) != 0) {
+      combined.push_back(SparseEntry{e.term, opts.beta * e.weight});
+    }
+  }
+  for (const SparseEntry& e : new_terms) {
+    combined.push_back(SparseEntry{e.term, opts.beta * e.weight});
+  }
+  return SparseVector(std::move(combined));
+}
+
+}  // namespace lmk

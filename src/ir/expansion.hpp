@@ -1,0 +1,31 @@
+// Automatic query expansion (paper §6, future work #2): pseudo-relevance
+// feedback in the Rocchio style. After a first retrieval round, the
+// query vector is enriched with the strongest terms of the top-ranked
+// documents and re-issued — "already an effective technique to improve
+// recall and precision in centralized information retrieval systems"
+// (Mitra, Singhal, Buckley; the paper's reference [15]).
+#pragma once
+
+#include <span>
+
+#include "metric/sparse_vector.hpp"
+
+namespace lmk {
+
+/// Rocchio expansion parameters.
+struct RocchioOptions {
+  double alpha = 1.0;        ///< weight of the original query
+  double beta = 0.5;         ///< weight of the feedback centroid
+  std::size_t feedback_docs = 5;   ///< top documents to learn from
+  std::size_t expansion_terms = 10;  ///< strongest new terms to add
+};
+
+/// Expand `query` with the dominant terms of `feedback` (the documents
+/// retrieved in round one, best first). The result is
+/// alpha*query + beta*centroid(feedback), truncated so that at most
+/// `expansion_terms` terms not present in the original query survive.
+[[nodiscard]] SparseVector rocchio_expand(
+    const SparseVector& query, std::span<const SparseVector> feedback,
+    const RocchioOptions& opts = RocchioOptions{});
+
+}  // namespace lmk

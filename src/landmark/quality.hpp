@@ -1,0 +1,65 @@
+// Landmark-set quality evaluation, used for the paper's dynamic-dataset
+// extension (§6): "New landmark sets can be periodically generated and
+// evaluated. If the new landmark set outperforms the current one
+// according to some threshold, the new landmarks will be disseminated."
+//
+// The score is the *filtering selectivity*: for a batch of probe queries
+// (q, r), the fraction of sample objects whose index point falls inside
+// the query's index-space cube. Lower is better — a tight filter ships
+// fewer useless candidates. A selectivity near 1.0 means the landmarks
+// cannot distinguish objects at all (the greedy-on-TREC pathology).
+#pragma once
+
+#include <span>
+
+#include "common/check.hpp"
+#include "landmark/mapper.hpp"
+
+namespace lmk {
+
+/// Mean fraction of `sample` that survives the index-space filter for
+/// the given probe queries at radius r. In [0, 1]; lower filters better.
+template <MetricSpace S>
+[[nodiscard]] double filter_selectivity(
+    const LandmarkMapper<S>& mapper,
+    std::span<const typename S::Point> sample,
+    std::span<const typename S::Point> probes, double radius) {
+  LMK_CHECK(!sample.empty());
+  LMK_CHECK(!probes.empty());
+  LMK_CHECK(radius >= 0);
+  std::vector<IndexPoint> mapped;
+  mapped.reserve(sample.size());
+  for (const auto& s : sample) mapped.push_back(mapper.map(s));
+  double total = 0;
+  for (const auto& q : probes) {
+    IndexPoint center = mapper.map_unclamped(q);
+    std::size_t inside = 0;
+    for (const IndexPoint& p : mapped) {
+      bool in = true;
+      for (std::size_t d = 0; d < p.size(); ++d) {
+        if (p[d] < center[d] - radius || p[d] > center[d] + radius) {
+          in = false;
+          break;
+        }
+      }
+      if (in) ++inside;
+    }
+    total += static_cast<double>(inside) / static_cast<double>(sample.size());
+  }
+  return total / static_cast<double>(probes.size());
+}
+
+/// Decision rule for landmark refresh: adopt the candidate set when its
+/// selectivity beats the incumbent's by at least `threshold` (relative).
+template <MetricSpace S>
+[[nodiscard]] bool should_adopt_landmarks(
+    const LandmarkMapper<S>& incumbent, const LandmarkMapper<S>& candidate,
+    std::span<const typename S::Point> sample,
+    std::span<const typename S::Point> probes, double radius,
+    double threshold = 0.1) {
+  double old_score = filter_selectivity(incumbent, sample, probes, radius);
+  double new_score = filter_selectivity(candidate, sample, probes, radius);
+  return new_score < old_score * (1.0 - threshold);
+}
+
+}  // namespace lmk

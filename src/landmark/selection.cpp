@@ -1,0 +1,142 @@
+#include "landmark/selection.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lmk {
+
+std::vector<DenseVector> kmeans_dense(std::span<const DenseVector> sample,
+                                      std::size_t k, Rng& rng,
+                                      int max_iters) {
+  LMK_CHECK(k >= 1);
+  LMK_CHECK(sample.size() >= k);
+  std::size_t dims = sample[0].size();
+  L2Space l2;
+
+  // k-means++ style seeding keeps clusters from collapsing onto one mode.
+  std::vector<DenseVector> centroids;
+  centroids.reserve(k);
+  centroids.push_back(sample[rng.below(sample.size())]);
+  std::vector<double> d2(sample.size());
+  while (centroids.size() < k) {
+    double total = 0;
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      double best = -1;
+      for (const auto& c : centroids) {
+        double d = l2.distance(sample[i], c);
+        double dd = d * d;
+        if (best < 0 || dd < best) best = dd;
+      }
+      d2[i] = best;
+      total += best;
+    }
+    if (total <= 0) {
+      centroids.push_back(sample[rng.below(sample.size())]);
+      continue;
+    }
+    double pick = rng.uniform() * total;
+    std::size_t chosen = sample.size() - 1;
+    double acc = 0;
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      acc += d2[i];
+      if (acc >= pick) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(sample[chosen]);
+  }
+
+  std::vector<std::size_t> assign(sample.size(), k);
+  for (int iter = 0; iter < max_iters; ++iter) {
+    bool changed = false;
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      std::size_t best = 0;
+      double best_d = l2.distance(sample[i], centroids[0]);
+      for (std::size_t c = 1; c < k; ++c) {
+        double d = l2.distance(sample[i], centroids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (assign[i] != best) {
+        assign[i] = best;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+    std::vector<DenseVector> sums(k, DenseVector(dims, 0.0));
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      std::size_t c = assign[i];
+      for (std::size_t d = 0; d < dims; ++d) sums[c][d] += sample[i][d];
+      ++counts[c];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster on a random sample point.
+        centroids[c] = sample[rng.below(sample.size())];
+        continue;
+      }
+      for (std::size_t d = 0; d < dims; ++d) {
+        centroids[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+      }
+    }
+  }
+  return centroids;
+}
+
+std::vector<SparseVector> kmeans_spherical(std::span<const SparseVector> sample,
+                                           std::size_t k, Rng& rng,
+                                           int max_iters) {
+  LMK_CHECK(k >= 1);
+  LMK_CHECK(sample.size() >= k);
+  AngularSpace ang;
+
+  std::vector<SparseVector> centroids;
+  centroids.reserve(k);
+  for (std::size_t idx : rng.sample_indices(sample.size(), k)) {
+    centroids.push_back(sample[idx]);
+  }
+
+  std::vector<std::size_t> assign(sample.size(), k);
+  for (int iter = 0; iter < max_iters; ++iter) {
+    bool changed = false;
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      std::size_t best = 0;
+      double best_d = ang.distance(sample[i], centroids[0]);
+      for (std::size_t c = 1; c < k; ++c) {
+        double d = ang.distance(sample[i], centroids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (assign[i] != best) {
+        assign[i] = best;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+    for (std::size_t c = 0; c < k; ++c) {
+      SparseVector sum;
+      std::size_t count = 0;
+      for (std::size_t i = 0; i < sample.size(); ++i) {
+        if (assign[i] != c || sample[i].empty()) continue;
+        // Sum of unit vectors: direction of the spherical mean.
+        sum.add_scaled(sample[i], 1.0 / sample[i].norm());
+        ++count;
+      }
+      if (count == 0 || sum.norm() == 0) {
+        centroids[c] = sample[rng.below(sample.size())];
+      } else {
+        sum.scale(1.0 / sum.norm());
+        centroids[c] = std::move(sum);
+      }
+    }
+  }
+  return centroids;
+}
+
+}  // namespace lmk

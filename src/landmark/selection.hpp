@@ -1,0 +1,133 @@
+// Landmark selection (paper §3.1).
+//
+// The paper evaluates two schemes:
+//  * the greedy method (Algorithm 1): farthest-first traversal over a
+//    random sample — landmarks are actual data objects, maximally
+//    dispersed;
+//  * k-means clustering: landmarks are cluster centroids of the sample —
+//    only available when centroids are defined (dense vectors, and
+//    spherical k-means for sparse term vectors).
+// For black-box metric spaces without centroids we additionally provide
+// k-medoids, which keeps the "cluster centre" idea while staying inside
+// the dataset.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "metric/dense.hpp"
+#include "metric/metric_space.hpp"
+#include "metric/sparse_vector.hpp"
+
+namespace lmk {
+
+/// Algorithm 1 (GreedySelection): start from a random sample member, then
+/// repeatedly add the sample object farthest from the chosen set (the
+/// distance of an object to a set being its minimum distance to any
+/// member). Works for any metric space.
+template <MetricSpace S>
+[[nodiscard]] std::vector<typename S::Point> greedy_selection(
+    const S& space, std::span<const typename S::Point> sample, std::size_t k,
+    Rng& rng) {
+  LMK_CHECK(k >= 1);
+  LMK_CHECK(sample.size() >= k);
+  std::vector<typename S::Point> landmarks;
+  landmarks.reserve(k);
+  std::size_t first = static_cast<std::size_t>(rng.below(sample.size()));
+  landmarks.push_back(sample[first]);
+  // dist_to_set[i] = min distance from sample[i] to the current set.
+  std::vector<double> dist_to_set(sample.size());
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    dist_to_set[i] = space.distance(sample[i], landmarks.back());
+  }
+  while (landmarks.size() < k) {
+    std::size_t far = 0;
+    for (std::size_t i = 1; i < sample.size(); ++i) {
+      if (dist_to_set[i] > dist_to_set[far]) far = i;
+    }
+    landmarks.push_back(sample[far]);
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      dist_to_set[i] = std::min(
+          dist_to_set[i], space.distance(sample[i], landmarks.back()));
+    }
+  }
+  return landmarks;
+}
+
+/// Lloyd's k-means on dense vectors; returns the k centroids (landmarks).
+/// Empty clusters are re-seeded from the point farthest from its
+/// centroid. Runs at most `max_iters` iterations or until assignments
+/// stop changing.
+[[nodiscard]] std::vector<DenseVector> kmeans_dense(
+    std::span<const DenseVector> sample, std::size_t k, Rng& rng,
+    int max_iters = 25);
+
+/// Spherical k-means on sparse term vectors under cosine similarity;
+/// centroids are normalized sums of their members — they are *dense in
+/// terms relative to members*, which is exactly the property the paper
+/// leans on for the TREC experiment (§4.3).
+[[nodiscard]] std::vector<SparseVector> kmeans_spherical(
+    std::span<const SparseVector> sample, std::size_t k, Rng& rng,
+    int max_iters = 15);
+
+/// k-medoids (Voronoi-iteration PAM variant) for black-box metric spaces:
+/// like k-means but the "centroid" of a cluster is the member minimizing
+/// the sum of distances to the rest of the cluster.
+template <MetricSpace S>
+[[nodiscard]] std::vector<typename S::Point> kmedoids_selection(
+    const S& space, std::span<const typename S::Point> sample, std::size_t k,
+    Rng& rng, int max_iters = 10) {
+  LMK_CHECK(k >= 1);
+  LMK_CHECK(sample.size() >= k);
+  std::vector<std::size_t> medoids = rng.sample_indices(sample.size(), k);
+  std::vector<std::size_t> assign(sample.size());
+  for (int iter = 0; iter < max_iters; ++iter) {
+    bool changed = false;
+    // Assignment step.
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      std::size_t best = 0;
+      double best_d = space.distance(sample[i], sample[medoids[0]]);
+      for (std::size_t c = 1; c < k; ++c) {
+        double d = space.distance(sample[i], sample[medoids[c]]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (assign[i] != best || iter == 0) {
+        assign[i] = best;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+    // Update step: new medoid = member minimizing intra-cluster cost.
+    for (std::size_t c = 0; c < k; ++c) {
+      std::vector<std::size_t> members;
+      for (std::size_t i = 0; i < sample.size(); ++i) {
+        if (assign[i] == c) members.push_back(i);
+      }
+      if (members.empty()) continue;
+      std::size_t best = medoids[c];
+      double best_cost = -1;
+      for (std::size_t cand : members) {
+        double cost = 0;
+        for (std::size_t m : members) {
+          cost += space.distance(sample[cand], sample[m]);
+        }
+        if (best_cost < 0 || cost < best_cost) {
+          best_cost = cost;
+          best = cand;
+        }
+      }
+      medoids[c] = best;
+    }
+  }
+  std::vector<typename S::Point> out;
+  out.reserve(k);
+  for (std::size_t c = 0; c < k; ++c) out.push_back(sample[medoids[c]]);
+  return out;
+}
+
+}  // namespace lmk

@@ -1,0 +1,62 @@
+// Dense-vector metric spaces: the Minkowski family L1 / L2 / L∞.
+//
+// These are the metrics of the paper's synthetic evaluation (Euclidean on
+// 100-dimensional clustered data) and of the vocal-pattern / time-series
+// application examples (L1, L2).
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace lmk {
+
+/// A dense point in R^d.
+using DenseVector = std::vector<double>;
+
+/// Euclidean distance (L2): d(x,y) = sqrt(sum (x_i - y_i)^2).
+struct L2Space {
+  using Point = DenseVector;
+
+  [[nodiscard]] double distance(const Point& a, const Point& b) const {
+    LMK_DCHECK(a.size() == b.size());
+    double acc = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      double d = a[i] - b[i];
+      acc += d * d;
+    }
+    return std::sqrt(acc);
+  }
+};
+
+/// Hamilton / Manhattan distance (L1): d(x,y) = sum |x_i - y_i|.
+struct L1Space {
+  using Point = DenseVector;
+
+  [[nodiscard]] double distance(const Point& a, const Point& b) const {
+    LMK_DCHECK(a.size() == b.size());
+    double acc = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      acc += std::abs(a[i] - b[i]);
+    }
+    return acc;
+  }
+};
+
+/// Chebyshev distance (L∞): d(x,y) = max |x_i - y_i|. Also the lower
+/// bound used for candidate ranking in the landmark index space.
+struct LInfSpace {
+  using Point = DenseVector;
+
+  [[nodiscard]] double distance(const Point& a, const Point& b) const {
+    LMK_DCHECK(a.size() == b.size());
+    double acc = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      acc = std::max(acc, std::abs(a[i] - b[i]));
+    }
+    return acc;
+  }
+};
+
+}  // namespace lmk

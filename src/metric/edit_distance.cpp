@@ -1,0 +1,62 @@
+#include "metric/edit_distance.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace lmk {
+
+unsigned edit_distance(const std::string& a, const std::string& b) {
+  const std::string& s = a.size() <= b.size() ? a : b;
+  const std::string& t = a.size() <= b.size() ? b : a;
+  std::size_t n = s.size();
+  std::size_t m = t.size();
+  if (n == 0) return static_cast<unsigned>(m);
+  // Two-row DP over the shorter string.
+  std::vector<unsigned> prev(n + 1), cur(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) prev[i] = static_cast<unsigned>(i);
+  for (std::size_t j = 1; j <= m; ++j) {
+    cur[0] = static_cast<unsigned>(j);
+    for (std::size_t i = 1; i <= n; ++i) {
+      unsigned sub = prev[i - 1] + (s[i - 1] == t[j - 1] ? 0u : 1u);
+      cur[i] = std::min({prev[i] + 1, cur[i - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[n];
+}
+
+unsigned edit_distance_bounded(const std::string& a, const std::string& b,
+                               unsigned bound) {
+  const std::string& s = a.size() <= b.size() ? a : b;
+  const std::string& t = a.size() <= b.size() ? b : a;
+  std::size_t n = s.size();
+  std::size_t m = t.size();
+  if (m - n > bound) return bound + 1;
+  if (n == 0) return static_cast<unsigned>(m);
+  const unsigned kInf = bound + 1;
+  // Banded DP: only cells with |i - j| <= bound can be <= bound.
+  std::vector<unsigned> prev(n + 1, kInf), cur(n + 1, kInf);
+  for (std::size_t i = 0; i <= std::min<std::size_t>(n, bound); ++i) {
+    prev[i] = static_cast<unsigned>(i);
+  }
+  for (std::size_t j = 1; j <= m; ++j) {
+    std::size_t lo = j > bound ? j - bound : 1;
+    std::size_t hi = std::min(n, j + bound);
+    if (lo > hi) return bound + 1;
+    std::fill(cur.begin(), cur.end(), kInf);
+    if (lo == 1 && j <= bound) cur[0] = static_cast<unsigned>(j);
+    unsigned row_min = cur[0];
+    for (std::size_t i = lo; i <= hi; ++i) {
+      unsigned sub = prev[i - 1] + (s[i - 1] == t[j - 1] ? 0u : 1u);
+      unsigned del = prev[i] >= kInf ? kInf : prev[i] + 1;
+      unsigned ins = cur[i - 1] >= kInf ? kInf : cur[i - 1] + 1;
+      cur[i] = std::min({sub, del, ins, kInf});
+      row_min = std::min(row_min, cur[i]);
+    }
+    if (row_min > bound) return bound + 1;
+    std::swap(prev, cur);
+  }
+  return std::min(prev[n], kInf);
+}
+
+}  // namespace lmk

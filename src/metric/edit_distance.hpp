@@ -1,0 +1,30 @@
+// Levenshtein edit distance on strings — the metric for DNA/protein
+// sequence search and "similar sentences" (paper §2, examples 1 and 6).
+#pragma once
+
+#include <string>
+
+namespace lmk {
+
+/// Minimum number of point mutations (insert, delete, substitute) turning
+/// `a` into `b`.
+[[nodiscard]] unsigned edit_distance(const std::string& a,
+                                     const std::string& b);
+
+/// Banded variant: exact when the true distance is <= `bound`, otherwise
+/// returns bound + 1. O(bound * min(|a|,|b|)) — the filter step of the
+/// index uses it to refine candidates cheaply.
+[[nodiscard]] unsigned edit_distance_bounded(const std::string& a,
+                                             const std::string& b,
+                                             unsigned bound);
+
+/// Metric-space adapter over edit_distance.
+struct EditDistanceSpace {
+  using Point = std::string;
+
+  [[nodiscard]] double distance(const Point& a, const Point& b) const {
+    return static_cast<double>(edit_distance(a, b));
+  }
+};
+
+}  // namespace lmk

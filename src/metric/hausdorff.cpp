@@ -1,0 +1,34 @@
+#include "metric/hausdorff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace lmk {
+
+namespace {
+
+double directed(const PointSet& a, const PointSet& b) {
+  double worst = 0;
+  for (const Point2D& p : a) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const Point2D& q : b) {
+      double dx = p[0] - q[0];
+      double dy = p[1] - q[1];
+      best = std::min(best, dx * dx + dy * dy);
+      if (best == 0) break;
+    }
+    worst = std::max(worst, best);
+  }
+  return std::sqrt(worst);
+}
+
+}  // namespace
+
+double hausdorff_distance(const PointSet& a, const PointSet& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  if (a.empty() || b.empty()) return 1e18;  // sentinel for degenerate input
+  return std::max(directed(a, b), directed(b, a));
+}
+
+}  // namespace lmk

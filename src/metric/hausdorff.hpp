@@ -1,0 +1,32 @@
+// Hausdorff distance between 2-D point sets — the metric the paper cites
+// for image similarity (Huttenlocher et al., §2 example 3). An image is
+// abstracted as the set of its feature/edge points.
+#pragma once
+
+#include <array>
+#include <vector>
+
+namespace lmk {
+
+/// A 2-D feature point.
+using Point2D = std::array<double, 2>;
+
+/// A shape: a non-empty set of feature points.
+using PointSet = std::vector<Point2D>;
+
+/// Symmetric Hausdorff distance:
+/// H(A,B) = max( max_{a∈A} min_{b∈B} |a-b|, max_{b∈B} min_{a∈A} |a-b| ).
+/// A metric on non-empty compact sets. Empty sets: H(∅,∅)=0, else +inf
+/// is clamped to a large sentinel — callers should avoid empty shapes.
+[[nodiscard]] double hausdorff_distance(const PointSet& a, const PointSet& b);
+
+/// Metric-space adapter.
+struct HausdorffSpace {
+  using Point = PointSet;
+
+  [[nodiscard]] double distance(const Point& a, const Point& b) const {
+    return hausdorff_distance(a, b);
+  }
+};
+
+}  // namespace lmk

@@ -1,0 +1,36 @@
+#include "metric/jaccard.hpp"
+
+#include <algorithm>
+
+namespace lmk {
+
+ItemSet::ItemSet(std::vector<std::uint32_t> items) : items_(std::move(items)) {
+  std::sort(items_.begin(), items_.end());
+  items_.erase(std::unique(items_.begin(), items_.end()), items_.end());
+}
+
+std::size_t ItemSet::intersection_size(const ItemSet& other) const {
+  std::size_t count = 0;
+  std::size_t i = 0, j = 0;
+  while (i < items_.size() && j < other.items_.size()) {
+    if (items_[i] < other.items_[j]) {
+      ++i;
+    } else if (items_[i] > other.items_[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+double jaccard_distance(const ItemSet& a, const ItemSet& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  std::size_t inter = a.intersection_size(b);
+  std::size_t uni = a.size() + b.size() - inter;
+  return 1.0 - static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace lmk

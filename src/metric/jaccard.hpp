@@ -1,0 +1,47 @@
+// Jaccard distance on finite sets: d(A,B) = 1 - |A∩B| / |A∪B|.
+//
+// A proper metric (it satisfies the triangle inequality — Levandowsky &
+// Winter 1971), bounded in [0, 1], and a natural fit for the platform's
+// "any metric space" claim: tag sets, shingled documents, feature sets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lmk {
+
+/// A set of item ids, kept sorted and deduplicated.
+class ItemSet {
+ public:
+  ItemSet() = default;
+
+  /// Build from arbitrary ids; sorts and deduplicates.
+  explicit ItemSet(std::vector<std::uint32_t> items);
+
+  [[nodiscard]] const std::vector<std::uint32_t>& items() const {
+    return items_;
+  }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+
+  /// |this ∩ other| via merge join.
+  [[nodiscard]] std::size_t intersection_size(const ItemSet& other) const;
+
+ private:
+  std::vector<std::uint32_t> items_;
+};
+
+/// Jaccard distance; two empty sets are identical (distance 0), an
+/// empty set is at distance 1 from any non-empty set.
+[[nodiscard]] double jaccard_distance(const ItemSet& a, const ItemSet& b);
+
+/// Metric-space adapter.
+struct JaccardSpace {
+  using Point = ItemSet;
+
+  [[nodiscard]] double distance(const Point& a, const Point& b) const {
+    return jaccard_distance(a, b);
+  }
+};
+
+}  // namespace lmk

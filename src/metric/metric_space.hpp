@@ -1,0 +1,46 @@
+// The generic metric space abstraction (paper §2, Definition 1).
+//
+// A metric space is a point type plus a "black box" distance function
+// satisfying positivity, reflexivity, symmetry and the triangle
+// inequality. Anything modelling the MetricSpace concept below can be
+// indexed on the platform; the library ships L1/L2/L∞ on dense vectors,
+// angular (cosine) distance on sparse TF-IDF vectors, Levenshtein edit
+// distance on strings, and Hausdorff distance on 2-D point sets.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+
+namespace lmk {
+
+/// A type usable as a similarity-search domain: exposes a Point type and
+/// a symmetric, non-negative, triangle-inequality-respecting distance.
+template <typename S>
+concept MetricSpace = requires(const S& s, const typename S::Point& a,
+                               const typename S::Point& b) {
+  typename S::Point;
+  { s.distance(a, b) } -> std::convertible_to<double>;
+};
+
+/// Adapter turning an unbounded metric into a bounded one via
+/// d' = d / (1 + d) (paper §3.1, "Boundary of index space"). The map is
+/// monotone and preserves the metric axioms; the image lies in [0, 1).
+template <typename S>
+class BoundedSpace {
+ public:
+  using Point = typename S::Point;
+
+  explicit BoundedSpace(S inner) : inner_(std::move(inner)) {}
+
+  [[nodiscard]] double distance(const Point& a, const Point& b) const {
+    double d = inner_.distance(a, b);
+    return d / (1.0 + d);
+  }
+
+  [[nodiscard]] const S& inner() const { return inner_; }
+
+ private:
+  S inner_;
+};
+
+}  // namespace lmk

@@ -1,0 +1,95 @@
+#include "metric/sparse_vector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+
+namespace lmk {
+
+SparseVector::SparseVector(std::vector<SparseEntry> entries)
+    : entries_(std::move(entries)) {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const SparseEntry& a, const SparseEntry& b) {
+              return a.term < b.term;
+            });
+  // Merge duplicate terms, drop non-positive weights.
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < entries_.size();) {
+    std::uint32_t term = entries_[i].term;
+    double w = 0;
+    while (i < entries_.size() && entries_[i].term == term) {
+      w += entries_[i].weight;
+      ++i;
+    }
+    if (w > 0) entries_[out++] = SparseEntry{term, w};
+  }
+  entries_.resize(out);
+  recompute_norm();
+}
+
+void SparseVector::recompute_norm() {
+  double acc = 0;
+  for (const auto& e : entries_) acc += e.weight * e.weight;
+  norm_ = std::sqrt(acc);
+}
+
+double SparseVector::dot(const SparseVector& other) const {
+  double acc = 0;
+  std::size_t i = 0, j = 0;
+  const auto& a = entries_;
+  const auto& b = other.entries_;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].term < b[j].term) {
+      ++i;
+    } else if (a[i].term > b[j].term) {
+      ++j;
+    } else {
+      acc += a[i].weight * b[j].weight;
+      ++i;
+      ++j;
+    }
+  }
+  return acc;
+}
+
+void SparseVector::scale(double factor) {
+  LMK_CHECK(factor > 0);
+  for (auto& e : entries_) e.weight *= factor;
+  norm_ *= factor;
+}
+
+void SparseVector::add_scaled(const SparseVector& other, double factor) {
+  std::vector<SparseEntry> merged;
+  merged.reserve(entries_.size() + other.entries_.size());
+  std::size_t i = 0, j = 0;
+  const auto& a = entries_;
+  const auto& b = other.entries_;
+  while (i < a.size() || j < b.size()) {
+    if (j >= b.size() || (i < a.size() && a[i].term < b[j].term)) {
+      merged.push_back(a[i++]);
+    } else if (i >= a.size() || b[j].term < a[i].term) {
+      merged.push_back(SparseEntry{b[j].term, b[j].weight * factor});
+      ++j;
+    } else {
+      merged.push_back(
+          SparseEntry{a[i].term, a[i].weight + b[j].weight * factor});
+      ++i;
+      ++j;
+    }
+  }
+  entries_ = std::move(merged);
+  recompute_norm();
+}
+
+double AngularSpace::distance(const Point& a, const Point& b) const {
+  if (a.empty() && b.empty()) return 0.0;
+  if (a.empty() || b.empty()) return std::numbers::pi / 2.0;
+  double cosine = a.dot(b) / (a.norm() * b.norm());
+  // Clamp: floating point can push the ratio slightly out of [-1, 1].
+  cosine = std::clamp(cosine, -1.0, 1.0);
+  return std::acos(cosine);
+}
+
+}  // namespace lmk

@@ -1,0 +1,69 @@
+// Sparse term vectors and the angular (cosine) metric for document
+// similarity (paper §4.3: VSM with TF/IDF weights, distance =
+// arccos(X·Y / |X||Y|)).
+//
+// The arccos of the cosine similarity — the angle between the vectors —
+// is a proper metric on the unit sphere (unlike "1 - cosine"), which is
+// why the paper uses it: the landmark mapping needs the triangle
+// inequality to be contractive.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lmk {
+
+/// One (term, weight) component of a sparse vector.
+struct SparseEntry {
+  std::uint32_t term;
+  double weight;
+};
+
+/// A sparse vector: entries sorted by ascending term id, weights > 0.
+class SparseVector {
+ public:
+  SparseVector() = default;
+
+  /// Build from possibly unsorted entries; sorts, merges duplicates
+  /// (weights add), drops zero weights, and caches the norm.
+  explicit SparseVector(std::vector<SparseEntry> entries);
+
+  [[nodiscard]] const std::vector<SparseEntry>& entries() const {
+    return entries_;
+  }
+
+  /// Number of non-zero terms ("document vector size" in Table 2).
+  [[nodiscard]] std::size_t term_count() const { return entries_.size(); }
+
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// Euclidean norm (cached).
+  [[nodiscard]] double norm() const { return norm_; }
+
+  /// Dot product with another sparse vector (merge join).
+  [[nodiscard]] double dot(const SparseVector& other) const;
+
+  /// Scale all weights in place (renormalization, centroid averaging).
+  void scale(double factor);
+
+  /// Accumulate `other * factor` into this vector (used by spherical
+  /// k-means centroid updates). Result stays sorted/merged.
+  void add_scaled(const SparseVector& other, double factor);
+
+ private:
+  void recompute_norm();
+
+  std::vector<SparseEntry> entries_;
+  double norm_ = 0;
+};
+
+/// Angular distance: the angle between two term vectors, in [0, π/2] for
+/// non-negative weights. Defined as π/2 for a zero vector against a
+/// non-zero one (maximally dissimilar), 0 for two zero vectors.
+struct AngularSpace {
+  using Point = SparseVector;
+
+  [[nodiscard]] double distance(const Point& a, const Point& b) const;
+};
+
+}  // namespace lmk

@@ -1,0 +1,77 @@
+#include "net/king_loader.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace lmk {
+
+std::unique_ptr<MatrixLatencyModel> parse_king_matrix(
+    const std::string& content, std::size_t hosts, std::string* error) {
+  auto fail = [error](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return nullptr;
+  };
+  if (hosts < 2) return fail("need at least 2 hosts");
+  std::vector<SimTime> matrix(hosts * hosts, -1);
+  std::vector<SimTime> seen;
+  std::istringstream in(content);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    long long a = 0, b = 0, rtt = 0;
+    if (!(ls >> a)) continue;  // blank/comment-only line
+    if (!(ls >> b >> rtt)) {
+      return fail("line " + std::to_string(line_no) + ": expected 'a b rtt'");
+    }
+    if (a < 0 || b < 0 || static_cast<std::size_t>(a) >= hosts ||
+        static_cast<std::size_t>(b) >= hosts) {
+      return fail("line " + std::to_string(line_no) + ": host out of range");
+    }
+    if (rtt < 0) {
+      return fail("line " + std::to_string(line_no) + ": negative rtt");
+    }
+    SimTime one_way = static_cast<SimTime>(rtt) / 2;
+    matrix[static_cast<std::size_t>(a) * hosts +
+           static_cast<std::size_t>(b)] = one_way;
+    matrix[static_cast<std::size_t>(b) * hosts +
+           static_cast<std::size_t>(a)] = one_way;
+    if (a != b) seen.push_back(one_way);
+  }
+  if (seen.empty()) return fail("no measurements in input");
+  // Median fallback for unmeasured pairs (the King dataset is not a
+  // complete matrix).
+  std::nth_element(seen.begin(), seen.begin() + seen.size() / 2, seen.end());
+  SimTime median = seen[seen.size() / 2];
+  for (std::size_t a = 0; a < hosts; ++a) {
+    for (std::size_t b = 0; b < hosts; ++b) {
+      SimTime& v = matrix[a * hosts + b];
+      if (a == b) {
+        v = 0;
+      } else if (v < 0) {
+        v = median;
+      }
+    }
+  }
+  return std::make_unique<MatrixLatencyModel>(hosts, std::move(matrix));
+}
+
+std::unique_ptr<MatrixLatencyModel> load_king_matrix(const std::string& path,
+                                                     std::size_t hosts,
+                                                     std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return nullptr;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_king_matrix(buf.str(), hosts, error);
+}
+
+}  // namespace lmk

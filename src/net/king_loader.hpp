@@ -1,0 +1,29 @@
+// Loader for measured pairwise-latency matrices in the King-dataset
+// text format, for users who have the original data: one line per pair,
+//
+//   <host_a> <host_b> <rtt_microseconds>
+//
+// (comments starting with '#' and blank lines are ignored; hosts are
+// 0-based indices). One-way latency is modeled as rtt/2; missing pairs
+// fall back to the median latency so a partially measured matrix still
+// yields a usable topology.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/latency_model.hpp"
+
+namespace lmk {
+
+/// Parse a King-format latency file into a MatrixLatencyModel.
+/// `hosts` — matrix dimension (indices in the file must be < hosts).
+/// Returns nullptr and fills *error on malformed input.
+[[nodiscard]] std::unique_ptr<MatrixLatencyModel> load_king_matrix(
+    const std::string& path, std::size_t hosts, std::string* error);
+
+/// Same, but parsing from an in-memory string (tests, embedded data).
+[[nodiscard]] std::unique_ptr<MatrixLatencyModel> parse_king_matrix(
+    const std::string& content, std::size_t hosts, std::string* error);
+
+}  // namespace lmk

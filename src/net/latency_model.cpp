@@ -1,0 +1,98 @@
+#include "net/latency_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace lmk {
+
+SimTime LatencyModel::mean_rtt() const {
+  std::size_t n = size();
+  if (n < 2) return 0;
+  // For large n, sample pairs; exact over all pairs is O(n^2) and only
+  // used in tests and setup diagnostics, which is acceptable up to the
+  // default 1740-host topology.
+  long double total = 0;
+  std::size_t pairs = 0;
+  for (HostId a = 0; a < n; ++a) {
+    for (HostId b = a + 1; b < n; ++b) {
+      total += static_cast<long double>(latency(a, b)) * 2;
+      ++pairs;
+    }
+  }
+  return static_cast<SimTime>(total / static_cast<long double>(pairs));
+}
+
+DelaySpaceModel::DelaySpaceModel(const Options& opts) {
+  LMK_CHECK(opts.hosts >= 2);
+  LMK_CHECK(opts.target_mean_rtt > 0);
+  LMK_CHECK(opts.access_delay_fraction >= 0 &&
+            opts.access_delay_fraction < 1);
+  Rng rng(opts.seed);
+  std::size_t n = opts.hosts;
+  x_.resize(n);
+  y_.resize(n);
+  access_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x_[i] = rng.uniform();
+    y_[i] = rng.uniform();
+    // Log-normal-ish access delays: most hosts are fast, a tail is slow.
+    access_[i] = std::exp(rng.normal(0.0, 0.7));
+  }
+  // Compute the unscaled mean one-way latency, then rescale the embedding
+  // and access components so the overall mean RTT hits the target.
+  long double sum_dist = 0, sum_access = 0;
+  std::size_t pairs = 0;
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      double dx = x_[a] - x_[b];
+      double dy = y_[a] - y_[b];
+      sum_dist += std::sqrt(dx * dx + dy * dy);
+      sum_access += access_[a] + access_[b];
+      ++pairs;
+    }
+  }
+  double mean_dist = static_cast<double>(sum_dist / pairs);
+  double mean_access = static_cast<double>(sum_access / pairs);
+  double target_one_way = static_cast<double>(opts.target_mean_rtt) / 2.0;
+  double want_access = target_one_way * opts.access_delay_fraction;
+  double want_dist = target_one_way - want_access;
+  double dist_scale = want_dist / mean_dist;
+  double access_scale = mean_access > 0 ? want_access / mean_access : 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    x_[i] *= dist_scale;
+    y_[i] *= dist_scale;
+    access_[i] *= access_scale;
+  }
+}
+
+SimTime DelaySpaceModel::latency(HostId a, HostId b) const {
+  LMK_DCHECK(a < x_.size() && b < x_.size());
+  if (a == b) return 0;
+  double dx = x_[a] - x_[b];
+  double dy = y_[a] - y_[b];
+  double one_way = std::sqrt(dx * dx + dy * dy) + access_[a] + access_[b];
+  return std::max<SimTime>(1, static_cast<SimTime>(std::llround(one_way)));
+}
+
+MatrixLatencyModel::MatrixLatencyModel(std::size_t size,
+                                       std::vector<SimTime> matrix)
+    : n_(size), m_(std::move(matrix)) {
+  LMK_CHECK(m_.size() == n_ * n_);
+  for (std::size_t a = 0; a < n_; ++a) {
+    m_[a * n_ + a] = 0;
+    for (std::size_t b = a + 1; b < n_; ++b) {
+      SimTime sym = std::max(m_[a * n_ + b], m_[b * n_ + a]);
+      LMK_CHECK(sym >= 0);
+      m_[a * n_ + b] = m_[b * n_ + a] = sym;
+    }
+  }
+}
+
+SimTime MatrixLatencyModel::latency(HostId a, HostId b) const {
+  LMK_DCHECK(a < n_ && b < n_);
+  return m_[static_cast<std::size_t>(a) * n_ + b];
+}
+
+}  // namespace lmk

@@ -1,0 +1,57 @@
+#include "routing/query.hpp"
+
+#include "common/check.hpp"
+
+namespace lmk {
+
+bool make_query(const SchemeRouting& scheme, std::uint64_t qid, HostId origin,
+                Region region, IndexPoint focus, RangeQuery* out) {
+  LMK_CHECK(out != nullptr);
+  LMK_CHECK(region.dims() == scheme.dims());
+  clamp_region(region, scheme.boundary);
+  out->scheme = &scheme;
+  out->qid = qid;
+  out->origin = origin;
+  out->prefix = enclosing_prefix(region, scheme.boundary);
+  out->region = std::move(region);
+  out->focus = std::move(focus);
+  out->hops = 0;
+  return true;
+}
+
+std::vector<RangeQuery> query_split(const RangeQuery& q, int p) {
+  LMK_CHECK(p >= 1 && p <= kIdBits);
+  LMK_CHECK(p == q.prefix.length + 1);
+  int j = 0;
+  double mid = split_plane(q.prefix.key, p, q.scheme->boundary, &j);
+  const Interval& range = q.region.ranges[static_cast<std::size_t>(j)];
+
+  std::vector<RangeQuery> out;
+  if (range.lo > mid) {
+    // Entirely in the upper half: descend, set bit p.
+    RangeQuery nq = q;
+    nq.prefix.key = set_bit(nq.prefix.key, p);
+    nq.prefix.length = p;
+    out.push_back(std::move(nq));
+  } else if (range.hi <= mid) {
+    // Entirely in the lower half (points on the plane hash low).
+    RangeQuery nq = q;
+    nq.prefix.length = p;
+    out.push_back(std::move(nq));
+  } else {
+    // Straddles: split the region at the plane. Upper child first, as in
+    // the paper's listing.
+    RangeQuery upper = q;
+    upper.prefix.key = set_bit(upper.prefix.key, p);
+    upper.prefix.length = p;
+    upper.region.ranges[static_cast<std::size_t>(j)].lo = mid;
+    RangeQuery lower = q;
+    lower.prefix.length = p;
+    lower.region.ranges[static_cast<std::size_t>(j)].hi = mid;
+    out.push_back(std::move(upper));
+    out.push_back(std::move(lower));
+  }
+  return out;
+}
+
+}  // namespace lmk

@@ -1,0 +1,198 @@
+#include "routing/router.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace lmk {
+
+QueryRouter::QueryRouter(Ring& ring, SolveFn solve, FanoutFn fanout,
+                         SentFn sent)
+    : ring_(ring),
+      solve_(std::move(solve)),
+      fanout_(std::move(fanout)),
+      sent_(std::move(sent)) {
+  LMK_CHECK(solve_ != nullptr);
+  LMK_CHECK(fanout_ != nullptr);
+}
+
+template <typename Fn>
+void QueryRouter::episode(ChordNode& at, Fn&& work) {
+  if (in_episode_) {
+    // Nested call (surrogate refinement forwarding through
+    // query_routing): stay in the enclosing episode so its flush batches
+    // everything.
+    work();
+    return;
+  }
+  in_episode_ = true;
+  work();
+  in_episode_ = false;
+  flush(at);
+}
+
+void QueryRouter::start(ChordNode& origin_node, RangeQuery q) {
+  episode(origin_node,
+          [&]() { query_routing(origin_node, std::move(q)); });
+}
+
+void QueryRouter::enqueue(NodeRef to, RangeQuery q, bool to_surrogate) {
+  LMK_CHECK(to.node != nullptr);
+  LMK_CHECK(in_episode_);
+  outbox_.emplace_back(to, Parcel{std::move(q), to_surrogate});
+}
+
+void QueryRouter::flush(ChordNode& from) {
+  LMK_CHECK(!in_episode_);
+  // Group parcels by target node; one message per target, sized by the
+  // paper's model for n subqueries. Grouping preserves enqueue order.
+  std::vector<std::pair<NodeRef, Parcel>> box = std::move(outbox_);
+  outbox_.clear();
+  while (!box.empty()) {
+    ChordNode* target = box.front().first.node;
+    std::vector<Parcel> batch;
+    std::vector<std::pair<NodeRef, Parcel>> rest;
+    for (auto& [to, parcel] : box) {
+      if (to.node == target) {
+        batch.push_back(std::move(parcel));
+      } else {
+        rest.emplace_back(to, std::move(parcel));
+      }
+    }
+    box = std::move(rest);
+
+    const SchemeRouting& scheme = *batch.front().q.scheme;
+    std::uint64_t bytes =
+        query_message_size(scheme.dims(), batch.size());
+    for (Parcel& p : batch) {
+      LMK_CHECK(p.q.qid == batch.front().q.qid);
+      p.q.hops += 1;
+      LMK_CHECK(p.q.hops <= hop_limit_);
+    }
+    if (sent_) sent_(batch.front().q.qid, bytes);
+
+    ChordNode* sender = &from;
+    std::uint32_t sender_inc = from.incarnation();
+    std::uint32_t target_inc = target->incarnation();
+    ring_.net().send(
+        from.host(), target->host(), bytes,
+        [this, target, target_inc, sender, sender_inc,
+         batch = std::move(batch)]() mutable {
+          if (target->alive() && target->incarnation() == target_inc) {
+            episode(*target, [&]() {
+              for (Parcel& p : batch) process(*target, std::move(p));
+            });
+            return;
+          }
+          // The target departed (or rejoined under a new identifier)
+          // while the message was in flight. Retry from the sender,
+          // whose stale routing entry is now detectably invalid.
+          if (sender->alive() && sender->incarnation() == sender_inc) {
+            episode(*sender, [&]() {
+              for (Parcel& p : batch) {
+                query_routing(*sender, std::move(p.q));
+              }
+            });
+          } else {
+            for (Parcel& p : batch) fanout_(p.q.qid, -1);
+          }
+        },
+        &traffic_);
+  }
+}
+
+void QueryRouter::process(ChordNode& at, Parcel parcel) {
+  if (parcel.to_surrogate) {
+    surrogate_refine(at, std::move(parcel.q));
+  } else {
+    query_routing(at, std::move(parcel.q));
+  }
+}
+
+void QueryRouter::query_routing(ChordNode& at, RangeQuery q) {
+  LMK_CHECK(q.hops <= hop_limit_);
+  std::vector<RangeQuery> list;
+  if (q.prefix.length == kIdBits) {
+    list.push_back(std::move(q));
+  } else {
+    auto subs = query_split(q, q.prefix.length + 1);
+    if (subs.size() == 1) {
+      // Region fits one half: descend without splitting (the paper's
+      // listing assumes a two-way split; a single-child descend is the
+      // degenerate case after surrogate pruning).
+      list.push_back(std::move(subs[0]));
+    } else {
+      NodeRef n1 = at.next_hop(subs[0].routing_key());
+      NodeRef n2 = at.next_hop(subs[1].routing_key());
+      if (n1.node == n2.node) {
+        // Both halves share the next hop: ship the larger query onward
+        // and let a later node split it (Alg. 3 lines 8-9).
+        list.push_back(std::move(q));
+      } else {
+        fanout_(subs[0].qid, +1);
+        list.push_back(std::move(subs[0]));
+        list.push_back(std::move(subs[1]));
+      }
+    }
+  }
+  for (auto& sq : list) {
+    NodeRef n = at.next_hop(sq.routing_key());
+    if (n.node == &at) {
+      // This node is the predecessor of the prefix key: hand the query
+      // to the surrogate (our successor) for refinement.
+      enqueue(at.successor(), std::move(sq), /*to_surrogate=*/true);
+    } else {
+      enqueue(n, std::move(sq), /*to_surrogate=*/false);
+    }
+  }
+}
+
+void QueryRouter::surrogate_refine(ChordNode& me, RangeQuery q) {
+  LMK_CHECK(q.hops <= hop_limit_);
+  if (!me.owns(q.routing_key())) {
+    // Stale delivery (the sender's successor pointer lagged a
+    // membership change): keep routing from here.
+    query_routing(me, std::move(q));
+    return;
+  }
+  // Virtual identifier: undo the scheme rotation so prefix logic works
+  // on the unrotated k-d tree.
+  const Id vid = me.id() - q.scheme->rotation;
+  RangeQuery cur = std::move(q);
+  while (true) {
+    if (cur.prefix.length == kIdBits ||
+        !same_prefix(cur.prefix.key, vid, cur.prefix.length)) {
+      // Either the cuboid is a single leaf owned by me, or my identifier
+      // lies beyond the cuboid's key span — every remaining key of the
+      // cuboid falls in (predecessor, me]: solve the whole query here.
+      solve_(cur, me);
+      return;
+    }
+    int p = cur.prefix.length + 1;
+    auto subs = query_split(cur, p);
+    if (subs.size() == 2) fanout_(cur.qid, +1);
+    bool continued = false;
+    RangeQuery next;
+    for (auto& sq : subs) {
+      int qbit = get_bit(sq.prefix.key, p);
+      if (qbit == get_bit(vid, p)) {
+        // The child containing my identifier: refine further.
+        next = std::move(sq);
+        continued = true;
+      } else if (qbit == 0) {
+        // Child cuboid's keys all precede my identifier (and follow my
+        // predecessor): fully covered, solve locally.
+        solve_(sq, me);
+      } else {
+        // Child cuboid's keys all exceed my identifier: forward it
+        // (Alg. 5 line 17) — QueryRouting runs locally; the episode's
+        // flush batches siblings bound for the same next hop.
+        query_routing(me, std::move(sq));
+      }
+    }
+    if (!continued) return;
+    cur = std::move(next);
+  }
+}
+
+}  // namespace lmk

@@ -1,0 +1,31 @@
+#include "sim/event_queue.hpp"
+
+#include "common/check.hpp"
+
+namespace lmk {
+
+void EventQueue::push(SimTime at, EventFn fn) {
+  heap_.push(Entry{at, next_seq_++, std::move(fn)});
+}
+
+SimTime EventQueue::next_time() const {
+  LMK_CHECK(!heap_.empty());
+  return heap_.top().at;
+}
+
+EventFn EventQueue::pop(SimTime* at) {
+  LMK_CHECK(!heap_.empty());
+  // priority_queue::top() is const; the move is safe because we pop
+  // immediately after.
+  Entry top = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  if (at != nullptr) *at = top.at;
+  return std::move(top.fn);
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+  next_seq_ = 0;
+}
+
+}  // namespace lmk

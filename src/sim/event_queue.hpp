@@ -1,0 +1,57 @@
+// Priority queue of timestamped events for the discrete-event simulator.
+//
+// Ties are broken by insertion sequence number so that two events
+// scheduled for the same instant run in schedule order — this makes the
+// whole simulation deterministic, which the reproduction relies on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "net/latency_model.hpp"
+
+namespace lmk {
+
+/// Callback invoked when an event fires.
+using EventFn = std::function<void()>;
+
+/// Min-heap of (time, seq) ordered events.
+class EventQueue {
+ public:
+  /// Enqueue `fn` to run at absolute time `at`.
+  void push(SimTime at, EventFn fn);
+
+  /// True when no events remain.
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+
+  /// Number of pending events.
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Timestamp of the earliest pending event. Requires !empty().
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Remove and return the earliest pending event. Requires !empty().
+  EventFn pop(SimTime* at);
+
+  /// Drop all pending events.
+  void clear();
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace lmk

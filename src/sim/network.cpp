@@ -1,0 +1,27 @@
+#include "sim/network.hpp"
+
+#include "common/check.hpp"
+
+namespace lmk {
+
+void Network::set_jitter(double fraction, std::uint64_t seed) {
+  LMK_CHECK(fraction >= 0);
+  jitter_ = fraction;
+  jitter_rng_ = Rng(seed);
+}
+
+void Network::send(HostId from, HostId to, std::uint64_t bytes,
+                   EventFn handler, TrafficCounter* counter) {
+  LMK_DCHECK(from < topology_.size());
+  LMK_DCHECK(to < topology_.size());
+  total_.add(bytes);
+  if (counter != nullptr) counter->add(bytes);
+  SimTime delay = topology_.latency(from, to);
+  if (jitter_ > 0 && delay > 0) {
+    delay += static_cast<SimTime>(static_cast<double>(delay) * jitter_ *
+                                  jitter_rng_.uniform());
+  }
+  sim_.schedule_after(delay, std::move(handler));
+}
+
+}  // namespace lmk

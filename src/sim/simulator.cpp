@@ -1,0 +1,46 @@
+#include "sim/simulator.hpp"
+
+#include "common/check.hpp"
+
+namespace lmk {
+
+void Simulator::schedule_after(SimTime delay, EventFn fn) {
+  LMK_CHECK(delay >= 0);
+  queue_.push(now_ + delay, std::move(fn));
+}
+
+void Simulator::schedule_at(SimTime at, EventFn fn) {
+  LMK_CHECK(at >= now_);
+  queue_.push(at, std::move(fn));
+}
+
+std::uint64_t Simulator::run(std::uint64_t limit) {
+  std::uint64_t n = 0;
+  while (n < limit && !queue_.empty()) {
+    SimTime at = 0;
+    EventFn fn = queue_.pop(&at);
+    LMK_CHECK(at >= now_);
+    now_ = at;
+    fn();
+    ++n;
+  }
+  executed_ += n;
+  return n;
+}
+
+std::uint64_t Simulator::run_until(SimTime until) {
+  LMK_CHECK(until >= now_);
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.next_time() <= until) {
+    SimTime at = 0;
+    EventFn fn = queue_.pop(&at);
+    now_ = at;
+    fn();
+    ++n;
+  }
+  now_ = until;
+  executed_ += n;
+  return n;
+}
+
+}  // namespace lmk

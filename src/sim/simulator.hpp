@@ -1,0 +1,52 @@
+// The discrete-event simulator driving all protocol activity.
+//
+// This is our substitute for p2psim: a single virtual clock, an event
+// queue, and helpers to schedule work at relative or absolute times.
+// Protocol code never blocks; everything is continuation-passing via
+// scheduled callbacks.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "sim/event_queue.hpp"
+
+namespace lmk {
+
+/// Virtual-time event loop.
+class Simulator {
+ public:
+  /// Current virtual time (microseconds since simulation start).
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` microseconds from now (delay >= 0).
+  void schedule_after(SimTime delay, EventFn fn);
+
+  /// Schedule `fn` at absolute virtual time `at` (must not be in the past).
+  void schedule_at(SimTime at, EventFn fn);
+
+  /// Run events until the queue drains or `limit` events have fired.
+  /// Returns the number of events executed.
+  std::uint64_t run(std::uint64_t limit =
+                        std::numeric_limits<std::uint64_t>::max());
+
+  /// Run events with timestamps <= `until` (the clock ends at `until`
+  /// even if the queue drains earlier). Returns events executed.
+  std::uint64_t run_until(SimTime until);
+
+  /// Number of events executed since construction.
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+  /// Pending event count (diagnostics).
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+  /// Drop all pending events (used between experiment phases).
+  void drain() { queue_.clear(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace lmk

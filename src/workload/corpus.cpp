@@ -1,0 +1,176 @@
+#include "workload/corpus.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.hpp"
+
+namespace lmk {
+
+namespace {
+
+/// Small-count term frequency: 1 + geometric tail, capped. Matches the
+/// empirical shape of within-document term counts (most terms appear
+/// once or twice).
+std::uint32_t draw_tf(Rng& rng) {
+  std::uint32_t tf = 1;
+  while (tf < 10 && rng.uniform() < 0.35) ++tf;
+  return tf;
+}
+
+std::size_t draw_poisson(double mean, Rng& rng) {
+  // Knuth's algorithm; mean is small (~3.5) so this is fast.
+  double l = std::exp(-mean);
+  std::size_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= rng.uniform();
+  } while (p > l);
+  return k - 1;
+}
+
+}  // namespace
+
+Corpus::Corpus(const CorpusConfig& cfg, Rng& rng)
+    : cfg_(cfg), zipf_(cfg.vocabulary, cfg.zipf_exponent) {
+  LMK_CHECK(cfg.documents > 0);
+  LMK_CHECK(cfg.vocabulary > cfg.stop_words + cfg.topics);
+  LMK_CHECK(cfg.topics > 0);
+  LMK_CHECK(cfg.stories_per_topic > 0);
+  LMK_CHECK(cfg.story_vocab > 0);
+  LMK_CHECK(cfg.story_share + cfg.topic_share <= 1.0);
+  LMK_CHECK(cfg.max_terms >= cfg.min_terms && cfg.min_terms >= 1);
+
+  docs_.reserve(cfg.documents);
+  topic_of_.reserve(cfg.documents);
+  story_of_.reserve(cfg.documents);
+
+  // Pass 1: raw term-frequency documents + document frequencies.
+  std::vector<std::vector<SparseEntry>> raw(cfg.documents);
+  std::unordered_map<std::uint32_t, std::uint32_t> df;
+  for (std::size_t d = 0; d < cfg.documents; ++d) {
+    auto topic = static_cast<std::uint32_t>(rng.below(cfg.topics));
+    auto story = static_cast<std::uint32_t>(rng.below(cfg.stories_per_topic));
+    topic_of_.push_back(topic);
+    story_of_.push_back(story);
+    double len = std::exp(rng.normal(cfg.length_log_mu, cfg.length_log_sigma));
+    auto target = static_cast<std::size_t>(std::llround(len));
+    target = std::clamp(target, cfg.min_terms, cfg.max_terms);
+    std::unordered_set<std::uint32_t> terms;
+    std::size_t attempts = 0;
+    while (terms.size() < target && attempts < target * 30 + 100) {
+      ++attempts;
+      terms.insert(draw_term(topic, story, rng));
+    }
+    raw[d].reserve(terms.size());
+    for (std::uint32_t t : terms) {
+      raw[d].push_back(SparseEntry{t, static_cast<double>(draw_tf(rng))});
+      ++df[t];
+    }
+  }
+  distinct_terms_ = df.size();
+
+  // IDF = ln(N / df) — terms in every document get weight 0 and drop out.
+  idf_.assign(cfg.vocabulary, 0.0);
+  auto n_docs = static_cast<double>(cfg.documents);
+  for (const auto& [term, count] : df) {
+    idf_[term] = std::log(n_docs / static_cast<double>(count));
+  }
+
+  // Pass 2: TF/IDF weighting.
+  for (std::size_t d = 0; d < cfg.documents; ++d) {
+    for (SparseEntry& e : raw[d]) e.weight *= idf_[e.term];
+    docs_.emplace_back(std::move(raw[d]));
+  }
+}
+
+std::uint32_t Corpus::story_term(std::uint32_t topic, std::uint32_t story,
+                                 std::size_t i) const {
+  // Deterministic story vocabulary carved out of the topic's block; the
+  // same (topic, story, i) always names the same term, which is what
+  // makes same-story documents (and the queries targeting the story)
+  // share concrete mid-frequency terms.
+  std::size_t block = (cfg_.vocabulary - cfg_.stop_words) / cfg_.topics;
+  std::uint64_t h = mix64((static_cast<std::uint64_t>(topic) << 40) ^
+                          (static_cast<std::uint64_t>(story) << 20) ^ i);
+  return static_cast<std::uint32_t>(cfg_.stop_words + topic * block +
+                                    (h % block));
+}
+
+std::uint32_t Corpus::draw_term(std::uint32_t topic, std::uint32_t story,
+                                Rng& rng) const {
+  auto stop = static_cast<std::uint32_t>(cfg_.stop_words);
+  std::size_t block =
+      (cfg_.vocabulary - cfg_.stop_words) / cfg_.topics;
+  double u = rng.uniform();
+  if (u < cfg_.story_share) {
+    // Story draw: a term from the story's small shared vocabulary.
+    return story_term(topic, story, rng.below(cfg_.story_vocab));
+  }
+  if (u < cfg_.story_share + cfg_.topic_share) {
+    // Topical draw: Zipf rank folded into the topic's vocabulary block,
+    // so within-topic term use is skewed too.
+    std::size_t r = zipf_(rng) % block;
+    return static_cast<std::uint32_t>(cfg_.stop_words + topic * block + r);
+  }
+  // Global draw; stop-word ranks are rejected (the SMART-list removal).
+  for (int tries = 0; tries < 64; ++tries) {
+    std::size_t r = zipf_(rng);
+    if (r >= stop) return static_cast<std::uint32_t>(r);
+  }
+  return stop;  // Zipf tail virtually never needs this fallback
+}
+
+std::vector<SparseVector> Corpus::make_queries(std::size_t count,
+                                               double mean_terms,
+                                               Rng& rng) const {
+  LMK_CHECK(mean_terms >= 1.0);
+  std::vector<SparseVector> out;
+  out.reserve(count);
+  auto n_docs = static_cast<double>(cfg_.documents);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto topic = static_cast<std::uint32_t>(rng.below(cfg_.topics));
+    auto story = static_cast<std::uint32_t>(rng.below(cfg_.stories_per_topic));
+    std::size_t target = std::max<std::size_t>(
+        1, draw_poisson(mean_terms - 1.0, rng) + 1);
+    std::unordered_set<std::uint32_t> terms;
+    std::size_t attempts = 0;
+    while (terms.size() < target && attempts < target * 30 + 50) {
+      ++attempts;
+      // Queries name the subject they seek: draw from the story's
+      // vocabulary (a TREC topic asks about one concrete subject).
+      std::uint32_t t = story_term(topic, story, rng.below(cfg_.story_vocab));
+      if (idf_[t] <= 0.0) t = draw_term(topic, story, rng);
+      // Prefer terms the corpus actually uses; unseen terms cannot match
+      // any document and would just dilute the query vector.
+      if (idf_[t] > 0.0) terms.insert(t);
+    }
+    std::vector<SparseEntry> entries;
+    entries.reserve(terms.size());
+    for (std::uint32_t t : terms) {
+      double w = idf_[t] > 0.0 ? idf_[t] : std::log(n_docs);
+      entries.push_back(SparseEntry{t, w});
+    }
+    if (entries.empty()) {
+      entries.push_back(SparseEntry{static_cast<std::uint32_t>(
+                                        cfg_.stop_words),
+                                    std::log(n_docs)});
+    }
+    out.emplace_back(std::move(entries));
+  }
+  return out;
+}
+
+std::vector<double> Corpus::vector_sizes() const {
+  std::vector<double> out;
+  out.reserve(docs_.size());
+  for (const SparseVector& d : docs_) {
+    out.push_back(static_cast<double>(d.term_count()));
+  }
+  return out;
+}
+
+}  // namespace lmk

@@ -1,0 +1,96 @@
+// Synthetic TREC-like document corpus (substitute for TREC-1,2-AP).
+//
+// The paper's §4.3 experiment uses 157,021 AP Newswire documents as
+// TF/IDF term vectors: 233,640 distinct terms, 155.4 terms per document
+// on average (Table 2 gives the full size distribution), SMART's 571
+// stop words removed, queries averaging 3.5 unique terms. The corpus is
+// not redistributable, so this generator reproduces the properties the
+// experiment actually depends on:
+//
+//  * Zipfian term frequencies over a large vocabulary (so IDF varies
+//    realistically and most vectors are extremely sparse);
+//  * topical clustering at two levels: topics (broad term distributions
+//    that landmarks can separate) and stories within topics (small
+//    shared vocabularies — the mechanism that gives a document true
+//    near neighbours under TF/IDF cosine, where purely independent
+//    draws would leave everything near-orthogonal);
+//  * document lengths matched to Table 2 (log-normal, clamped to
+//    [1, 676], median ≈ 146, mean ≈ 155);
+//  * stop-word removal modeled by excluding the top `stop_words` Zipf
+//    ranks from documents and queries;
+//  * short queries (~3.5 unique terms on average) drawn from topics,
+//    mirroring the TREC-3 ad hoc topics 151-200.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "metric/sparse_vector.hpp"
+
+namespace lmk {
+
+/// Generator parameters; defaults mirror the paper's corpus statistics.
+struct CorpusConfig {
+  std::size_t documents = 157021;
+  std::size_t vocabulary = 233640;
+  std::size_t stop_words = 571;   ///< top Zipf ranks removed (SMART list)
+  std::size_t topics = 100;       ///< latent topical clusters
+  std::size_t stories_per_topic = 50;  ///< sub-topic clusters
+  std::size_t story_vocab = 40;   ///< shared terms per story
+  double story_share = 0.45;      ///< fraction of terms from the story
+  double topic_share = 0.35;      ///< fraction of terms from the topic
+  double zipf_exponent = 1.05;    ///< term-frequency skew
+  double length_log_mu = 4.984;   ///< log-normal doc length: ln(146)
+  double length_log_sigma = 0.52;
+  std::size_t min_terms = 1;      ///< Table 2: minimum vector size
+  std::size_t max_terms = 676;    ///< Table 2: maximum vector size
+};
+
+/// A generated corpus: TF/IDF-weighted sparse document vectors plus the
+/// latent topic of each document (used by tests and query generation).
+class Corpus {
+ public:
+  Corpus(const CorpusConfig& cfg, Rng& rng);
+
+  [[nodiscard]] const std::vector<SparseVector>& documents() const {
+    return docs_;
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& topics() const {
+    return topic_of_;
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& stories() const {
+    return story_of_;
+  }
+  [[nodiscard]] const CorpusConfig& config() const { return cfg_; }
+
+  /// Number of distinct terms actually used across the corpus.
+  [[nodiscard]] std::size_t distinct_terms() const { return distinct_terms_; }
+
+  /// Generate `count` query vectors: each picks a topic and draws a
+  /// Poisson(mean_terms)-sized set of topical terms (≥1), TF/IDF
+  /// weighted with the corpus' IDF. The paper repeats 50 topics to get
+  /// 2000 queries; callers do the repetition.
+  [[nodiscard]] std::vector<SparseVector> make_queries(std::size_t count,
+                                                       double mean_terms,
+                                                       Rng& rng) const;
+
+  /// Document vector sizes (term counts) — the Table 2 statistic.
+  [[nodiscard]] std::vector<double> vector_sizes() const;
+
+ private:
+  std::uint32_t draw_term(std::uint32_t topic, std::uint32_t story,
+                          Rng& rng) const;
+  std::uint32_t story_term(std::uint32_t topic, std::uint32_t story,
+                           std::size_t i) const;
+
+  CorpusConfig cfg_;
+  std::vector<SparseVector> docs_;
+  std::vector<std::uint32_t> topic_of_;
+  std::vector<std::uint32_t> story_of_;
+  std::vector<double> idf_;  ///< per term (0 when unused)
+  ZipfSampler zipf_;
+  std::size_t distinct_terms_ = 0;
+};
+
+}  // namespace lmk

@@ -1,0 +1,67 @@
+#include "workload/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace lmk {
+
+namespace {
+
+DenseVector sample_point(const SyntheticConfig& cfg, const DenseVector& center,
+                         Rng& rng) {
+  DenseVector p(cfg.dims);
+  for (std::size_t d = 0; d < cfg.dims; ++d) {
+    double v = center[d] + rng.normal(0.0, cfg.deviation);
+    p[d] = std::clamp(v, cfg.range_lo, cfg.range_hi);
+  }
+  return p;
+}
+
+}  // namespace
+
+SyntheticDataset generate_clustered(const SyntheticConfig& cfg, Rng& rng) {
+  LMK_CHECK(cfg.objects > 0);
+  LMK_CHECK(cfg.dims > 0);
+  LMK_CHECK(cfg.clusters > 0);
+  LMK_CHECK(cfg.range_hi > cfg.range_lo);
+  SyntheticDataset out;
+  out.centers.reserve(cfg.clusters);
+  for (std::size_t c = 0; c < cfg.clusters; ++c) {
+    DenseVector center(cfg.dims);
+    for (std::size_t d = 0; d < cfg.dims; ++d) {
+      center[d] = rng.uniform(cfg.range_lo, cfg.range_hi);
+    }
+    out.centers.push_back(std::move(center));
+  }
+  out.points.reserve(cfg.objects);
+  out.assignments.reserve(cfg.objects);
+  for (std::size_t i = 0; i < cfg.objects; ++i) {
+    auto c = static_cast<std::uint32_t>(rng.below(cfg.clusters));
+    out.assignments.push_back(c);
+    out.points.push_back(sample_point(cfg, out.centers[c], rng));
+  }
+  return out;
+}
+
+std::vector<DenseVector> generate_queries(const SyntheticConfig& cfg,
+                                          const SyntheticDataset& dataset,
+                                          std::size_t count, Rng& rng) {
+  LMK_CHECK(!dataset.centers.empty());
+  std::vector<DenseVector> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const DenseVector& center =
+        dataset.centers[rng.below(dataset.centers.size())];
+    out.push_back(sample_point(cfg, center, rng));
+  }
+  return out;
+}
+
+double max_theoretical_distance(const SyntheticConfig& cfg) {
+  double edge = cfg.range_hi - cfg.range_lo;
+  return std::sqrt(static_cast<double>(cfg.dims) * edge * edge);
+}
+
+}  // namespace lmk

@@ -1,0 +1,52 @@
+// Synthetic clustered dataset generator (paper §4.2, Table 1).
+//
+// "Each dataset contains 10^5 data objects which are clustered in the
+// data space. Data in each data cluster are modeled as normal
+// distribution." Fewer clusters / smaller deviation = more skew. Query
+// sets are generated with the same method.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "metric/dense.hpp"
+
+namespace lmk {
+
+/// Table 1 parameters (defaults are the paper's values).
+struct SyntheticConfig {
+  std::size_t objects = 100000;   ///< dataset size
+  std::size_t dims = 100;         ///< dimensionality
+  double range_lo = 0.0;          ///< per-dimension lower bound
+  double range_hi = 100.0;        ///< per-dimension upper bound
+  std::size_t clusters = 10;      ///< number of clusters
+  double deviation = 20.0;        ///< per-cluster, per-dimension std dev
+};
+
+/// A generated clustered dataset plus the cluster structure (tests use
+/// the assignments; experiments only need the points).
+struct SyntheticDataset {
+  std::vector<DenseVector> points;
+  std::vector<DenseVector> centers;          ///< one per cluster
+  std::vector<std::uint32_t> assignments;    ///< cluster of each point
+};
+
+/// Generate a clustered dataset: uniform cluster centres, Gaussian
+/// points clamped to the configured range.
+[[nodiscard]] SyntheticDataset generate_clustered(const SyntheticConfig& cfg,
+                                                  Rng& rng);
+
+/// Generate a query set from the same distribution, reusing the
+/// dataset's cluster centres ("the corresponding query sets are
+/// generated with the same method").
+[[nodiscard]] std::vector<DenseVector> generate_queries(
+    const SyntheticConfig& cfg, const SyntheticDataset& dataset,
+    std::size_t count, Rng& rng);
+
+/// The paper's theoretical maximum distance for a config:
+/// sqrt(dims * (hi - lo)^2) — 1000 for the Table 1 values. Query range
+/// factors are expressed relative to this.
+[[nodiscard]] double max_theoretical_distance(const SyntheticConfig& cfg);
+
+}  // namespace lmk

@@ -1,0 +1,300 @@
+// Tests for load balancing: static rotation offsets and dynamic load
+// migration (probing, split-point choice, leave/rejoin transfers, and
+// the placement invariant across migrations).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "balance/migration.hpp"
+#include "balance/rotation.hpp"
+#include "common/stats.hpp"
+#include "core/index_platform.hpp"
+
+namespace lmk {
+namespace {
+
+struct Stack {
+  Stack(std::size_t hosts, std::uint64_t seed)
+      : topo(hosts, 10 * kMillisecond), net(sim, topo) {
+    Ring::Options ropts;
+    ropts.seed = seed;
+    ring = std::make_unique<Ring>(net, ropts);
+    for (HostId h = 0; h < hosts; ++h) ring->create_node(h);
+    ring->bootstrap();
+    platform = std::make_unique<IndexPlatform>(*ring);
+  }
+
+  Simulator sim;
+  ConstantLatencyModel topo;
+  Network net;
+  std::unique_ptr<Ring> ring;
+  std::unique_ptr<IndexPlatform> platform;
+};
+
+TEST(Rotation, OffsetsDifferPerIndexName) {
+  EXPECT_NE(rotation_offset("images"), rotation_offset("documents"));
+  EXPECT_EQ(rotation_offset("images"), rotation_offset("images"));
+}
+
+TEST(Rotation, ShiftsHotspotPlacement) {
+  // Two schemes with identical entry distributions; without rotation the
+  // same nodes host both hot spots, with rotation they split.
+  Stack s(64, 1);
+  std::uint32_t plain_a = s.platform->register_scheme(
+      "same-a", uniform_boundary(1, 0, 1), false);
+  std::uint32_t plain_b = s.platform->register_scheme(
+      "same-b", uniform_boundary(1, 0, 1), false);
+  std::uint32_t rot_a = s.platform->register_scheme(
+      "rot-a", uniform_boundary(1, 0, 1), true);
+  std::uint32_t rot_b = s.platform->register_scheme(
+      "rot-b", uniform_boundary(1, 0, 1), true);
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    // Hot region near the upper boundary (the paper's hyperball effect).
+    IndexPoint p{1.0 - std::abs(rng.normal(0, 0.02))};
+    s.platform->insert(plain_a, i, p);
+    s.platform->insert(plain_b, i, p);
+    s.platform->insert(rot_a, i, p);
+    s.platform->insert(rot_b, i, p);
+  }
+  // Without rotation, per-node loads of the two schemes coincide; with
+  // rotation they should not.
+  auto max_load_overlap = [&s](std::uint32_t a, std::uint32_t b) {
+    std::size_t both = 0, either = 0;
+    for (ChordNode* n : s.ring->alive_nodes()) {
+      bool ha = !s.platform->store(*n, a).empty();
+      bool hb = !s.platform->store(*n, b).empty();
+      if (ha && hb) ++both;
+      if (ha || hb) ++either;
+    }
+    return either == 0 ? 0.0
+                       : static_cast<double>(both) /
+                             static_cast<double>(either);
+  };
+  EXPECT_GT(max_load_overlap(plain_a, plain_b), 0.99);
+  EXPECT_LT(max_load_overlap(rot_a, rot_b), 0.5);
+}
+
+TEST(Migration, ProbeSetRespectsLevelAndExcludesSelf) {
+  Stack s(64, 3);
+  LoadBalancer::Options opts;
+  opts.probe_level = 1;
+  LoadBalancer lb(*s.ring, opts, s.platform->balancer_hooks());
+  ChordNode* n = s.ring->alive_nodes()[0];
+  auto probes = lb.probe_set(*n);
+  EXPECT_FALSE(probes.empty());
+  for (ChordNode* p : probes) EXPECT_NE(p, n);
+  // Level-1 probes are exactly the valid routing-table neighbours.
+  std::set<ChordNode*> expected;
+  for (const NodeRef& r : n->successor_list()) {
+    if (r.valid()) expected.insert(r.node);
+  }
+  for (const NodeRef& r : n->finger_table()) {
+    if (r.valid() && r.node != n) expected.insert(r.node);
+  }
+  if (n->predecessor().valid()) expected.insert(n->predecessor().node);
+  std::set<ChordNode*> got(probes.begin(), probes.end());
+  EXPECT_EQ(got, expected);
+}
+
+TEST(Migration, HigherProbeLevelSeesMore) {
+  Stack s(256, 4);
+  LoadBalancer::Options l1;
+  l1.probe_level = 1;
+  LoadBalancer::Options l3;
+  l3.probe_level = 3;
+  l3.max_probe_set = 100000;
+  l1.max_probe_set = 100000;
+  LoadBalancer lb1(*s.ring, l1, s.platform->balancer_hooks());
+  LoadBalancer lb3(*s.ring, l3, s.platform->balancer_hooks());
+  ChordNode* n = s.ring->alive_nodes()[0];
+  EXPECT_GT(lb3.probe_set(*n).size(), lb1.probe_set(*n).size());
+}
+
+TEST(Migration, MovesLoadOffTheHotNode) {
+  Stack s(32, 5);
+  std::uint32_t scheme = s.platform->register_scheme(
+      "hot", uniform_boundary(1, 0, 1), false);
+  Rng rng(6);
+  // Skewed load: everything in a narrow band of the key space.
+  for (int i = 0; i < 1000; ++i) {
+    s.platform->insert(scheme, i, IndexPoint{rng.uniform(0.90, 0.95)});
+  }
+  auto loads_before = s.platform->load_distribution();
+  std::size_t max_before =
+      *std::max_element(loads_before.begin(), loads_before.end());
+  LoadBalancer::Options opts;
+  opts.delta = 0.0;
+  opts.probe_level = 4;
+  LoadBalancer lb(*s.ring, opts, s.platform->balancer_hooks());
+  int migrations = lb.run_until_stable();
+  EXPECT_GT(migrations, 0);
+  s.platform->check_placement_invariant();
+  auto loads_after = s.platform->load_distribution();
+  std::size_t max_after =
+      *std::max_element(loads_after.begin(), loads_after.end());
+  EXPECT_LT(max_after, max_before);
+  // Entry conservation: nothing lost or duplicated.
+  EXPECT_EQ(s.platform->total_entries(), 1000u);
+}
+
+TEST(Migration, FlattensLoadSubstantially) {
+  Stack s(64, 7);
+  std::uint32_t scheme = s.platform->register_scheme(
+      "skew", uniform_boundary(2, 0, 1), false);
+  Rng rng(8);
+  for (int i = 0; i < 2000; ++i) {
+    IndexPoint p{std::clamp(rng.normal(0.8, 0.05), 0.0, 1.0),
+                 std::clamp(rng.normal(0.2, 0.05), 0.0, 1.0)};
+    s.platform->insert(scheme, i, p);
+  }
+  std::vector<double> before;
+  for (std::size_t l : s.platform->load_distribution()) {
+    before.push_back(static_cast<double>(l));
+  }
+  LoadBalancer::Options opts;
+  opts.delta = 0.0;
+  opts.probe_level = 4;
+  LoadBalancer lb(*s.ring, opts, s.platform->balancer_hooks());
+  lb.run_until_stable();
+  std::vector<double> after;
+  for (std::size_t l : s.platform->load_distribution()) {
+    after.push_back(static_cast<double>(l));
+  }
+  EXPECT_LT(gini(after), gini(before) * 0.7);
+  s.platform->check_placement_invariant();
+}
+
+TEST(Migration, NoMigrationWhenAlreadyEven) {
+  Stack s(32, 9);
+  std::uint32_t scheme = s.platform->register_scheme(
+      "even", uniform_boundary(1, 0, 1), false);
+  Rng rng(10);
+  for (int i = 0; i < 2000; ++i) {
+    s.platform->insert(scheme, i, IndexPoint{rng.uniform()});
+  }
+  // Uniform entries over uniform node ids: loads are roughly even, and a
+  // large delta should suppress migrations entirely.
+  LoadBalancer::Options opts;
+  opts.delta = 5.0;
+  opts.probe_level = 2;
+  LoadBalancer lb(*s.ring, opts, s.platform->balancer_hooks());
+  EXPECT_EQ(lb.run_round(), 0);
+}
+
+TEST(Migration, SingleKeyPileCannotBeSplit) {
+  // All entries hash to one key (the paper's greedy-on-TREC pathology):
+  // the balancer must refuse to "balance" by swapping the pile around.
+  Stack s(16, 11);
+  std::uint32_t scheme = s.platform->register_scheme(
+      "pile", uniform_boundary(1, 0, 1), false);
+  for (int i = 0; i < 500; ++i) {
+    s.platform->insert(scheme, i, IndexPoint{0.777});
+  }
+  LoadBalancer::Options opts;
+  opts.delta = 0.0;
+  opts.probe_level = 4;
+  LoadBalancer lb(*s.ring, opts, s.platform->balancer_hooks());
+  int migrations = lb.run_until_stable(10);
+  EXPECT_EQ(migrations, 0);
+  EXPECT_EQ(s.platform->total_entries(), 500u);
+}
+
+TEST(Migration, MedianKeySplitsEntriesInHalf) {
+  Stack s(4, 12);
+  std::uint32_t scheme = s.platform->register_scheme(
+      "med", uniform_boundary(1, 0, 1), false);
+  Rng rng(13);
+  for (int i = 0; i < 400; ++i) {
+    s.platform->insert(scheme, i, IndexPoint{rng.uniform()});
+  }
+  for (ChordNode* n : s.ring->alive_nodes()) {
+    std::size_t load = s.platform->entries_on(*n);
+    if (load < 10) continue;
+    Id split = s.platform->median_key(*n);
+    ASSERT_TRUE(in_open(split, n->predecessor().id, n->id()))
+        << "split key outside the node's range";
+    std::size_t below = 0;
+    for (const IndexEntry& e : s.platform->store(*n, scheme)) {
+      if (in_open_closed(e.key, n->predecessor().id, split)) ++below;
+    }
+    EXPECT_NEAR(static_cast<double>(below), static_cast<double>(load) / 2,
+                static_cast<double>(load) * 0.05 + 1);
+  }
+}
+
+TEST(Migration, QueriesStillCorrectAfterBalancing) {
+  Stack s(48, 14);
+  std::uint32_t scheme = s.platform->register_scheme(
+      "q-after", uniform_boundary(2, 0, 1), false);
+  Rng rng(15);
+  std::vector<IndexPoint> pts;
+  for (int i = 0; i < 800; ++i) {
+    IndexPoint p{std::clamp(rng.normal(0.7, 0.08), 0.0, 1.0),
+                 std::clamp(rng.normal(0.3, 0.08), 0.0, 1.0)};
+    s.platform->insert(scheme, i, p);
+    pts.push_back(p);
+  }
+  LoadBalancer::Options opts;
+  opts.delta = 0.0;
+  opts.probe_level = 4;
+  LoadBalancer lb(*s.ring, opts, s.platform->balancer_hooks());
+  int migrations = lb.run_until_stable();
+  EXPECT_GT(migrations, 0);
+  auto nodes = s.ring->alive_nodes();
+  for (int t = 0; t < 15; ++t) {
+    Region r;
+    for (int d = 0; d < 2; ++d) {
+      double lo = rng.uniform(0, 0.9);
+      r.ranges.push_back(Interval{lo, lo + 0.1});
+    }
+    std::set<std::uint64_t> expected;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      if (pts[i][0] >= r.ranges[0].lo && pts[i][0] <= r.ranges[0].hi &&
+          pts[i][1] >= r.ranges[1].lo && pts[i][1] <= r.ranges[1].hi) {
+        expected.insert(i);
+      }
+    }
+    std::optional<IndexPlatform::QueryOutcome> outcome;
+    s.platform->region_query(*nodes[rng.below(nodes.size())], scheme, r,
+                             IndexPoint{0.5, 0.5}, ReplyMode::kAllMatches,
+                             [&](const auto& o) { outcome = o; });
+    s.sim.run();
+    ASSERT_TRUE(outcome.has_value());
+    std::set<std::uint64_t> got(outcome->results.begin(),
+                                outcome->results.end());
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST(Migration, NodeDistributionSkewsAfterBalancing) {
+  // The paper notes the cost of migration: node ids bunch up around hot
+  // key ranges, deepening the search tree there.
+  Stack s(64, 16);
+  std::uint32_t scheme = s.platform->register_scheme(
+      "skew-ids", uniform_boundary(1, 0, 1), false);
+  Rng rng(17);
+  for (int i = 0; i < 3000; ++i) {
+    s.platform->insert(scheme, i,
+                       IndexPoint{std::clamp(rng.normal(0.9, 0.01), 0.0, 1.0)});
+  }
+  LoadBalancer::Options opts;
+  opts.delta = 0.0;
+  opts.probe_level = 4;
+  LoadBalancer lb(*s.ring, opts, s.platform->balancer_hooks());
+  lb.run_until_stable();
+  // Count nodes whose id falls in the hot 10% of the (unrotated) key
+  // space; after migrations it must exceed the uniform share.
+  Boundary b = uniform_boundary(1, 0, 1);
+  Id hot_lo = lph_hash(IndexPoint{0.85}, b);
+  std::size_t in_hot = 0;
+  for (ChordNode* n : s.ring->alive_nodes()) {
+    if (n->id() >= hot_lo) ++in_hot;
+  }
+  EXPECT_GT(in_hot, s.ring->alive_count() * 15 / 100);
+}
+
+}  // namespace
+}  // namespace lmk

@@ -1,0 +1,349 @@
+// Churn and failure injection: crash failures healed by stabilization,
+// queries racing membership changes, retry paths, jitter, and the
+// incarnation guards that keep stale messages harmless.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "core/index_platform.hpp"
+
+namespace lmk {
+namespace {
+
+struct Stack {
+  Stack(std::size_t hosts, std::uint64_t seed)
+      : topo(hosts, 10 * kMillisecond), net(sim, topo) {
+    Ring::Options ropts;
+    ropts.seed = seed;
+    ring = std::make_unique<Ring>(net, ropts);
+    for (HostId h = 0; h < hosts; ++h) ring->create_node(h);
+    ring->bootstrap();
+    platform = std::make_unique<IndexPlatform>(*ring);
+  }
+
+  Simulator sim;
+  ConstantLatencyModel topo;
+  Network net;
+  std::unique_ptr<Ring> ring;
+  std::unique_ptr<IndexPlatform> platform;
+};
+
+TEST(Churn, CrashLeavesStaleStateOracleStaysConsistent) {
+  Stack s(32, 1);
+  auto nodes = s.ring->alive_nodes();
+  std::sort(nodes.begin(), nodes.end(),
+            [](auto* a, auto* b) { return a->id() < b->id(); });
+  ChordNode* victim = nodes[7];
+  ChordNode* pred = nodes[6];
+  Id victim_id = victim->id();
+  s.ring->fail(*victim);
+  EXPECT_FALSE(victim->alive());
+  // No repair happened: the predecessor's successor pointer is stale...
+  EXPECT_FALSE(pred->successor_list().front().valid());
+  // ...but successor() skips it via the successor list.
+  EXPECT_EQ(pred->successor().node, nodes[8]);
+  // The oracle already excludes the dead node.
+  EXPECT_EQ(s.ring->oracle_successor(victim_id), nodes[8]);
+}
+
+TEST(Churn, StabilizationHealsAfterCrashes) {
+  Stack s(48, 2);
+  Rng rng(3);
+  // Crash 6 random nodes, then let the protocol repair itself.
+  for (int i = 0; i < 6; ++i) {
+    auto alive = s.ring->alive_nodes();
+    s.ring->fail(*alive[rng.below(alive.size())]);
+  }
+  s.ring->run_stabilization(20, 200 * kMillisecond);
+  auto nodes = s.ring->alive_nodes();
+  std::sort(nodes.begin(), nodes.end(),
+            [](auto* a, auto* b) { return a->id() < b->id(); });
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    ChordNode* succ = nodes[(i + 1) % nodes.size()];
+    EXPECT_EQ(nodes[i]->successor().node, succ) << "node " << i;
+    ChordNode* pred = nodes[(i + nodes.size() - 1) % nodes.size()];
+    EXPECT_EQ(nodes[i]->predecessor().node, pred) << "node " << i;
+  }
+}
+
+TEST(Churn, LookupsSurviveCrashesViaSuccessorLists) {
+  Stack s(64, 4);
+  Rng rng(5);
+  for (int i = 0; i < 8; ++i) {
+    auto alive = s.ring->alive_nodes();
+    s.ring->fail(*alive[rng.below(alive.size())]);
+  }
+  // Without any stabilization, lookups must still find the right owner
+  // by skipping stale entries (successor lists give redundancy).
+  auto nodes = s.ring->alive_nodes();
+  for (int t = 0; t < 30; ++t) {
+    Id key = rng.next();
+    ChordNode* expected = s.ring->oracle_successor(key);
+    NodeRef got;
+    s.ring->find_successor(*nodes[rng.below(nodes.size())], key,
+                           [&](NodeRef r, int) { got = r; });
+    s.sim.run();
+    EXPECT_EQ(got.node, expected) << "key " << key;
+  }
+}
+
+TEST(Churn, EntriesOnCrashedNodeAreLostOthersSurvive) {
+  Stack s(16, 6);
+  auto scheme = s.platform->register_scheme("crash",
+                                            uniform_boundary(1, 0, 1), false);
+  Rng rng(7);
+  for (int i = 0; i < 400; ++i) {
+    s.platform->insert(scheme, static_cast<std::uint64_t>(i),
+                       IndexPoint{rng.uniform()});
+  }
+  auto alive = s.ring->alive_nodes();
+  ChordNode* victim = alive[3];
+  std::size_t lost = s.platform->entries_on(*victim);
+  // Count what the victim held, crash it, repair pointers, re-query.
+  s.ring->fail(*victim);
+  for (ChordNode* n : s.ring->alive_nodes()) s.ring->fix_neighbors(*n);
+  s.ring->refresh_all_fingers();
+  std::optional<IndexPlatform::QueryOutcome> outcome;
+  s.platform->region_query(*s.ring->alive_nodes()[0], scheme,
+                           Region{{Interval{0, 1}}}, IndexPoint{0.5},
+                           ReplyMode::kAllMatches,
+                           [&](const auto& o) { outcome = o; });
+  s.sim.run();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->results.size(), 400u - lost);
+}
+
+TEST(Churn, QueryInFlightDuringGracefulLeaveRetriesAndCompletes) {
+  Stack s(32, 8);
+  auto scheme = s.platform->register_scheme("leave-race",
+                                            uniform_boundary(2, 0, 1), false);
+  Rng rng(9);
+  std::vector<IndexPoint> pts;
+  for (int i = 0; i < 300; ++i) {
+    pts.push_back(IndexPoint{rng.uniform(), rng.uniform()});
+    s.platform->insert(scheme, static_cast<std::uint64_t>(i), pts.back());
+  }
+  // Inject the query, then make a node leave gracefully while messages
+  // are in flight (its entries drain to the successor first).
+  std::optional<IndexPlatform::QueryOutcome> outcome;
+  s.platform->region_query(*s.ring->alive_nodes()[0], scheme,
+                           Region{{Interval{0, 1}, Interval{0, 1}}},
+                           IndexPoint{0.5, 0.5}, ReplyMode::kAllMatches,
+                           [&](const auto& o) { outcome = o; });
+  s.sim.schedule_after(5 * kMillisecond, [&]() {
+    auto alive = s.ring->alive_nodes();
+    ChordNode* victim = alive[alive.size() / 2];
+    ChordNode* succ = victim->successor().node;
+    s.platform->drain_all(*victim, *succ);
+    s.ring->leave(*victim);
+    s.ring->refresh_all_fingers();
+  });
+  s.sim.run();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(outcome->complete);
+  // Retried subqueries may double-report entries that moved; the result
+  // set is deduplicated and must still cover everything.
+  std::set<std::uint64_t> got(outcome->results.begin(),
+                              outcome->results.end());
+  EXPECT_EQ(got.size(), pts.size());
+}
+
+TEST(Churn, QueriesDuringRepeatedMigrationsStayComplete) {
+  Stack s(32, 10);
+  auto scheme = s.platform->register_scheme("mig-race",
+                                            uniform_boundary(2, 0, 1), false);
+  Rng rng(11);
+  std::vector<IndexPoint> pts;
+  for (int i = 0; i < 500; ++i) {
+    pts.push_back(IndexPoint{std::clamp(rng.normal(0.7, 0.1), 0.0, 1.0),
+                             std::clamp(rng.normal(0.4, 0.1), 0.0, 1.0)});
+    s.platform->insert(scheme, static_cast<std::uint64_t>(i), pts.back());
+  }
+  LoadBalancer::Options bopts;
+  bopts.delta = 0;
+  bopts.probe_level = 4;
+  LoadBalancer balancer(*s.ring, bopts, s.platform->balancer_hooks());
+
+  int completed = 0;
+  int total_lost = 0;
+  auto nodes_at = [&]() { return s.ring->alive_nodes(); };
+  for (int round = 0; round < 5; ++round) {
+    // Kick off queries, then run one balancing round while they fly.
+    for (int qn = 0; qn < 4; ++qn) {
+      auto nodes = nodes_at();
+      s.platform->region_query(
+          *nodes[rng.below(nodes.size())], scheme,
+          Region{{Interval{0.3, 0.9}, Interval{0.1, 0.7}}},
+          IndexPoint{0.6, 0.4}, ReplyMode::kAllMatches,
+          [&](const IndexPlatform::QueryOutcome& o) {
+            ++completed;
+            total_lost += o.lost_subqueries;
+          });
+    }
+    s.sim.schedule_after(3 * kMillisecond, [&]() { balancer.run_round(); });
+    s.sim.run();
+  }
+  EXPECT_EQ(completed, 20);
+  // Losses are possible when both endpoints churn mid-flight, but the
+  // accounting must keep every query completing.
+  EXPECT_EQ(s.platform->active_queries(), 0u);
+  EXPECT_LE(total_lost, 4);
+  s.platform->check_placement_invariant();
+}
+
+TEST(Churn, StabilizationRefillsSuccessorLists) {
+  Stack s(40, 20);
+  Rng rng(21);
+  // Crash 5 nodes; survivors' successor lists now contain stale entries.
+  for (int i = 0; i < 5; ++i) {
+    auto alive = s.ring->alive_nodes();
+    s.ring->fail(*alive[rng.below(alive.size())]);
+  }
+  std::size_t stale = 0;
+  for (ChordNode* n : s.ring->alive_nodes()) {
+    for (const NodeRef& r : n->successor_list()) {
+      if (!r.valid()) ++stale;
+    }
+  }
+  EXPECT_GT(stale, 0u);
+  s.ring->run_stabilization(30, 100 * kMillisecond);
+  // Lists are repaired: full depth again (ring still > kSuccessors
+  // nodes) and every entry valid.
+  for (ChordNode* n : s.ring->alive_nodes()) {
+    std::size_t valid = 0;
+    for (const NodeRef& r : n->successor_list()) {
+      if (r.valid()) ++valid;
+    }
+    EXPECT_GE(valid, ChordNode::kSuccessors / 2)
+        << "successor list not refilled";
+    EXPECT_TRUE(n->successor().valid() || n->successor().node == n);
+  }
+}
+
+TEST(Churn, FingerTablesConvergeTowardOracleAfterCrashes) {
+  Stack s(32, 22);
+  Rng rng(23);
+  for (int i = 0; i < 4; ++i) {
+    auto alive = s.ring->alive_nodes();
+    s.ring->fail(*alive[rng.below(alive.size())]);
+  }
+  auto stale_fingers = [&]() {
+    std::size_t stale = 0;
+    for (ChordNode* n : s.ring->alive_nodes()) {
+      for (const NodeRef& f : n->finger_table()) {
+        if (f.node != nullptr && !f.valid()) ++stale;
+      }
+    }
+    return stale;
+  };
+  std::size_t before = stale_fingers();
+  EXPECT_GT(before, 0u);
+  // Enough rounds for each node's round-robin to cover all 64 fingers.
+  s.ring->run_stabilization(2 * kIdBits, 50 * kMillisecond);
+  std::size_t after = stale_fingers();
+  EXPECT_LT(after, before / 4) << "fingers did not heal";
+}
+
+TEST(Churn, IncarnationGuardDropsMessagesToRejoinedNode) {
+  Stack s(16, 12);
+  auto nodes = s.ring->alive_nodes();
+  ChordNode* target = nodes[5];
+  std::uint32_t inc_before = target->incarnation();
+  bool fired = false;
+  s.ring->rpc(nodes[0]->host(), *target,
+              [&](ChordNode&) { fired = true; });
+  // The node leaves and rejoins (new incarnation) before delivery.
+  s.ring->leave(*target);
+  s.ring->rejoin(*target, target->id() + 12345);
+  EXPECT_GT(target->incarnation(), inc_before);
+  s.sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Churn, JitterPreservesCorrectnessAndChangesTiming) {
+  auto run_with = [](double jitter) {
+    Stack s(24, 13);
+    if (jitter > 0) s.net.set_jitter(jitter, 99);
+    auto scheme = s.platform->register_scheme(
+        "jit", uniform_boundary(2, 0, 1), false);
+    Rng rng(14);
+    std::vector<IndexPoint> pts;
+    for (int i = 0; i < 200; ++i) {
+      pts.push_back(IndexPoint{rng.uniform(), rng.uniform()});
+      s.platform->insert(scheme, static_cast<std::uint64_t>(i), pts.back());
+    }
+    std::optional<IndexPlatform::QueryOutcome> outcome;
+    s.platform->region_query(*s.ring->alive_nodes()[0], scheme,
+                             Region{{Interval{0, 1}, Interval{0, 1}}},
+                             IndexPoint{0.5, 0.5}, ReplyMode::kAllMatches,
+                             [&](const auto& o) { outcome = o; });
+    s.sim.run();
+    return std::pair{outcome->results.size(), outcome->max_latency};
+  };
+  auto [count0, lat0] = run_with(0.0);
+  auto [count1, lat1] = run_with(0.5);
+  EXPECT_EQ(count0, 200u);
+  EXPECT_EQ(count1, 200u);   // jitter never breaks completeness
+  EXPECT_GT(lat1, lat0);     // but delays the slowest reply
+}
+
+TEST(Churn, JitterIsDeterministicPerSeed) {
+  Simulator sim1, sim2;
+  ConstantLatencyModel topo(4, 10 * kMillisecond);
+  Network a(sim1, topo), b(sim2, topo);
+  a.set_jitter(0.3, 7);
+  b.set_jitter(0.3, 7);
+  std::vector<SimTime> ta, tb;
+  for (int i = 0; i < 10; ++i) {
+    a.send(0, 1, 1, [&] { ta.push_back(sim1.now()); });
+    b.send(0, 1, 1, [&] { tb.push_back(sim2.now()); });
+  }
+  sim1.run();
+  sim2.run();
+  EXPECT_EQ(ta, tb);
+}
+
+TEST(Churn, ProtocolJoinsDuringQueriesDoNotCorruptState) {
+  Stack s(40, 15);
+  // Only 30 of the 40 hosts start in the ring.
+  Simulator& sim = s.sim;
+  Network net2(sim, s.topo);
+  Ring::Options ropts;
+  ropts.seed = 16;
+  Ring ring(net2, ropts);
+  for (HostId h = 0; h < 30; ++h) ring.create_node(h);
+  ring.bootstrap();
+  IndexPlatform platform(ring);
+  auto scheme =
+      platform.register_scheme("join-race", uniform_boundary(1, 0, 1), false);
+  Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    platform.insert(scheme, static_cast<std::uint64_t>(i),
+                    IndexPoint{rng.uniform()});
+  }
+  // Join 10 more nodes while queries run.
+  ChordNode& gateway = ring.node(0);
+  int completed = 0;
+  for (HostId h = 30; h < 40; ++h) {
+    ChordNode& fresh = ring.create_node(h);
+    ring.protocol_join(fresh, gateway, nullptr);
+    platform.region_query(*ring.alive_nodes()[0], scheme,
+                          Region{{Interval{0.2, 0.8}}}, IndexPoint{0.5},
+                          ReplyMode::kAllMatches,
+                          [&](const auto&) { ++completed; });
+    sim.run();
+  }
+  EXPECT_EQ(completed, 10);
+  // After joins, stabilize and verify queries are exact again (entries
+  // may sit on "wrong" nodes until transferred; ownership-correct
+  // placement is restored by fix_neighbors + transfer in migration, so
+  // here we only require completion and state sanity).
+  ring.run_stabilization(15, 100 * kMillisecond);
+  EXPECT_EQ(ring.alive_count(), 40u);
+}
+
+}  // namespace
+}  // namespace lmk

@@ -1,0 +1,205 @@
+// End-to-end integration tests: the full experiment pipeline that the
+// figure benches run, at small scale — synthetic clustered data under
+// Euclidean distance and the TREC-like corpus under angular distance,
+// with and without load balancing, across landmark selection schemes.
+#include <gtest/gtest.h>
+
+#include <span>
+
+#include "eval/experiment.hpp"
+#include "landmark/selection.hpp"
+#include "workload/corpus.hpp"
+#include "workload/synthetic.hpp"
+
+namespace lmk {
+namespace {
+
+struct SyntheticFixture {
+  SyntheticFixture() {
+    cfg.objects = 4000;
+    cfg.dims = 20;
+    cfg.clusters = 5;
+    cfg.deviation = 8;
+    Rng rng(99);
+    data = generate_clustered(cfg, rng);
+    queries = generate_queries(cfg, data, 40, rng);
+    max_dist = max_theoretical_distance(cfg);
+  }
+
+  LandmarkMapper<L2Space> make_mapper(std::size_t k, bool kmeans) {
+    Rng rng(100);
+    auto sample_idx = rng.sample_indices(data.points.size(), 500);
+    std::vector<DenseVector> sample;
+    for (auto i : sample_idx) sample.push_back(data.points[i]);
+    std::vector<DenseVector> landmarks =
+        kmeans ? kmeans_dense(std::span<const DenseVector>(sample), k, rng)
+               : greedy_selection(space, std::span<const DenseVector>(sample),
+                                  k, rng);
+    return LandmarkMapper<L2Space>(space, std::move(landmarks),
+                                   uniform_boundary(k, 0, max_dist));
+  }
+
+  SyntheticConfig cfg;
+  SyntheticDataset data;
+  std::vector<DenseVector> queries;
+  double max_dist = 0;
+  L2Space space;
+};
+
+TEST(EndToEnd, RecallGrowsWithRangeFactorAndReachesHigh) {
+  SyntheticFixture f;
+  ExperimentConfig ecfg;
+  ecfg.nodes = 64;
+  ecfg.seed = 1;
+  SimilarityExperiment<L2Space> exp(ecfg, f.space, f.data.points,
+                                    f.make_mapper(5, /*kmeans=*/true),
+                                    "e2e-kmean5");
+  exp.set_queries(f.queries);
+  QueryStats small = exp.run_batch(0.001 * f.max_dist);
+  QueryStats mid = exp.run_batch(0.05 * f.max_dist);
+  QueryStats large = exp.run_batch(0.20 * f.max_dist);
+  EXPECT_EQ(small.recall.count(), f.queries.size());
+  EXPECT_LE(small.recall.mean(), mid.recall.mean() + 0.05);
+  EXPECT_LE(mid.recall.mean(), large.recall.mean() + 0.05);
+  EXPECT_GT(large.recall.mean(), 0.9);
+  // Larger ranges touch more index nodes and cost more bandwidth.
+  EXPECT_GT(large.index_nodes.mean(), small.index_nodes.mean());
+  EXPECT_GT(large.total_bytes.mean(), small.total_bytes.mean());
+}
+
+TEST(EndToEnd, ResponseTimesAreNetworkScale) {
+  SyntheticFixture f;
+  ExperimentConfig ecfg;
+  ecfg.nodes = 64;
+  ecfg.seed = 2;
+  SimilarityExperiment<L2Space> exp(ecfg, f.data.points.size() > 0 ? f.space
+                                                                   : f.space,
+                                    f.data.points, f.make_mapper(5, true),
+                                    "e2e-latency");
+  exp.set_queries(f.queries);
+  QueryStats stats = exp.run_batch(0.05 * f.max_dist);
+  // Mean RTT is 180 ms; a routed query + reply should land in the
+  // hundreds of milliseconds, bounded by a few seconds.
+  EXPECT_GT(stats.response_ms.mean(), 50.0);
+  EXPECT_LT(stats.response_ms.mean(), 5000.0);
+  EXPECT_GE(stats.max_latency_ms.mean(), stats.response_ms.mean());
+  EXPECT_GT(stats.hops.mean(), 1.0);
+}
+
+TEST(EndToEnd, LoadBalancingFlattensLoadAndKeepsQueriesCorrect) {
+  SyntheticFixture f;
+  ExperimentConfig plain;
+  plain.nodes = 64;
+  plain.seed = 3;
+  SimilarityExperiment<L2Space> exp_plain(plain, f.space, f.data.points,
+                                          f.make_mapper(5, true), "e2e-nolb");
+  ExperimentConfig lb = plain;
+  lb.load_balance = true;
+  lb.delta = 0.0;
+  lb.probe_level = 4;
+  SimilarityExperiment<L2Space> exp_lb(lb, f.space, f.data.points,
+                                       f.make_mapper(5, true), "e2e-lb");
+  EXPECT_GT(exp_lb.migrations(), 0);
+  auto curve_plain = exp_plain.load_curve();
+  auto curve_lb = exp_lb.load_curve();
+  EXPECT_LT(curve_lb.front(), curve_plain.front());
+  // Queries still work after balancing, with decent recall at 5% range.
+  exp_lb.set_queries(f.queries);
+  QueryStats stats = exp_lb.run_batch(0.05 * f.max_dist);
+  EXPECT_GT(stats.recall.mean(), 0.5);
+  EXPECT_EQ(stats.incomplete, 0u);
+}
+
+TEST(EndToEnd, TenLandmarksFilterBetterThanTwo) {
+  SyntheticFixture f;
+  ExperimentConfig ecfg;
+  ecfg.nodes = 64;
+  ecfg.seed = 4;
+  SimilarityExperiment<L2Space> exp2(ecfg, f.space, f.data.points,
+                                     f.make_mapper(2, true), "e2e-k2");
+  SimilarityExperiment<L2Space> exp10(ecfg, f.space, f.data.points,
+                                      f.make_mapper(10, true), "e2e-k10");
+  exp2.set_queries(f.queries);
+  exp10.set_queries(f.queries);
+  double r = 0.05 * f.max_dist;
+  QueryStats s2 = exp2.run_batch(r);
+  QueryStats s10 = exp10.run_batch(r);
+  // More landmarks => tighter filter => fewer candidate entries shipped
+  // back per query (the paper's filtering-power argument).
+  EXPECT_LT(s10.result_bytes.mean(), s2.result_bytes.mean() * 1.05);
+}
+
+TEST(EndToEnd, NaiveRoutingCostsMoreMessages) {
+  SyntheticFixture f;
+  ExperimentConfig tree;
+  tree.nodes = 64;
+  tree.seed = 5;
+  ExperimentConfig naive = tree;
+  naive.routing = RoutingMode::kNaive;
+  naive.naive_split_depth = 8;
+  SimilarityExperiment<L2Space> exp_tree(tree, f.space, f.data.points,
+                                         f.make_mapper(5, true), "e2e-tree");
+  SimilarityExperiment<L2Space> exp_naive(naive, f.space, f.data.points,
+                                          f.make_mapper(5, true),
+                                          "e2e-naive");
+  exp_tree.set_queries(f.queries);
+  exp_naive.set_queries(f.queries);
+  double r = 0.10 * f.max_dist;
+  QueryStats st = exp_tree.run_batch(r);
+  QueryStats sn = exp_naive.run_batch(r);
+  // Identical recall (both are exact over the same index)...
+  EXPECT_NEAR(st.recall.mean(), sn.recall.mean(), 1e-9);
+  // ...but the naive client-side decomposition ships more messages.
+  EXPECT_GT(sn.query_messages.mean(), st.query_messages.mean());
+}
+
+TEST(EndToEnd, CorpusPipelineWithSphericalKmeans) {
+  Rng rng(7);
+  CorpusConfig ccfg;
+  ccfg.documents = 1500;
+  ccfg.vocabulary = 20000;
+  ccfg.topics = 15;
+  ccfg.stories_per_topic = 15;
+  Corpus corpus(ccfg, rng);
+  AngularSpace ang;
+  auto sample_idx = rng.sample_indices(corpus.documents().size(), 300);
+  std::vector<SparseVector> sample;
+  for (auto i : sample_idx) sample.push_back(corpus.documents()[i]);
+  auto landmarks =
+      kmeans_spherical(std::span<const SparseVector>(sample), 6, rng);
+  Boundary boundary = boundary_from_sample(
+      ang, std::span<const SparseVector>(landmarks),
+      std::span<const SparseVector>(sample));
+  LandmarkMapper<AngularSpace> mapper(ang, std::move(landmarks),
+                                      std::move(boundary));
+  ExperimentConfig ecfg;
+  ecfg.nodes = 48;
+  ecfg.seed = 8;
+  ecfg.load_balance = true;
+  SimilarityExperiment<AngularSpace> exp(ecfg, ang, corpus.documents(),
+                                         std::move(mapper), "e2e-trec");
+  exp.set_queries(corpus.make_queries(25, 3.5, rng));
+  QueryStats stats = exp.run_batch(0.15 * 3.14159);
+  EXPECT_EQ(stats.recall.count(), 25u);
+  EXPECT_GT(stats.recall.mean(), 0.3);
+  EXPECT_EQ(stats.incomplete, 0u);
+}
+
+TEST(EndToEnd, DeterministicAcrossRuns) {
+  SyntheticFixture f;
+  auto run = [&f]() {
+    ExperimentConfig ecfg;
+    ecfg.nodes = 32;
+    ecfg.seed = 9;
+    SimilarityExperiment<L2Space> exp(ecfg, f.space, f.data.points,
+                                      f.make_mapper(4, false), "e2e-det");
+    exp.set_queries(f.queries);
+    QueryStats s = exp.run_batch(0.03 * f.max_dist);
+    return std::tuple{s.recall.mean(), s.hops.mean(), s.total_bytes.mean(),
+                      s.response_ms.mean()};
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace lmk

@@ -1,0 +1,294 @@
+// Tests for landmark selection (greedy / k-means / k-medoids), the
+// index-space mapping, boundary determination, and the contractiveness
+// property everything else relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "landmark/mapper.hpp"
+#include "landmark/selection.hpp"
+#include "metric/edit_distance.hpp"
+#include "workload/synthetic.hpp"
+
+namespace lmk {
+namespace {
+
+std::vector<DenseVector> two_far_clusters(std::size_t per_cluster, Rng& rng) {
+  std::vector<DenseVector> pts;
+  for (std::size_t i = 0; i < per_cluster; ++i) {
+    pts.push_back({rng.normal(0, 1), rng.normal(0, 1)});
+    pts.push_back({rng.normal(100, 1), rng.normal(100, 1)});
+  }
+  return pts;
+}
+
+TEST(Greedy, PicksRequestedCount) {
+  Rng rng(1);
+  auto pts = two_far_clusters(50, rng);
+  L2Space l2;
+  auto lm = greedy_selection(l2, std::span<const DenseVector>(pts), 5, rng);
+  EXPECT_EQ(lm.size(), 5u);
+}
+
+TEST(Greedy, LandmarksAreDispersed) {
+  Rng rng(2);
+  auto pts = two_far_clusters(50, rng);
+  L2Space l2;
+  auto lm = greedy_selection(l2, std::span<const DenseVector>(pts), 2, rng);
+  // With two clusters 140 apart, the two greedy landmarks must land in
+  // different clusters (farthest-first guarantees it).
+  EXPECT_GT(l2.distance(lm[0], lm[1]), 100.0);
+}
+
+TEST(Greedy, FarthestFirstInvariant) {
+  // Every landmark after the first is at least as far from the earlier
+  // set as any not-yet-chosen sample point at selection time; check a
+  // weaker but testable consequence: min pairwise landmark distance is
+  // no smaller than the covering radius of the final set.
+  Rng rng(3);
+  std::vector<DenseVector> pts;
+  for (int i = 0; i < 200; ++i) {
+    pts.push_back({rng.uniform(0, 10), rng.uniform(0, 10)});
+  }
+  L2Space l2;
+  auto lm = greedy_selection(l2, std::span<const DenseVector>(pts), 6, rng);
+  double min_pair = 1e18;
+  for (std::size_t i = 0; i < lm.size(); ++i) {
+    for (std::size_t j = i + 1; j < lm.size(); ++j) {
+      min_pair = std::min(min_pair, l2.distance(lm[i], lm[j]));
+    }
+  }
+  double covering = 0;
+  for (const auto& p : pts) {
+    double best = 1e18;
+    for (const auto& l : lm) best = std::min(best, l2.distance(p, l));
+    covering = std::max(covering, best);
+  }
+  EXPECT_GE(min_pair + 1e-9, covering);
+}
+
+TEST(Greedy, WorksOnStringsWithEditDistance) {
+  Rng rng(4);
+  std::vector<std::string> sample{"aaaa", "aaab", "zzzz", "zzzy",
+                                  "mmmm", "mmmn", "aaba", "zzxy"};
+  EditDistanceSpace ed;
+  auto lm = greedy_selection(ed, std::span<const std::string>(sample), 3, rng);
+  EXPECT_EQ(lm.size(), 3u);
+  std::set<std::string> uniq(lm.begin(), lm.end());
+  EXPECT_EQ(uniq.size(), 3u);
+}
+
+TEST(KMeansDense, FindsTwoObviousClusters) {
+  Rng rng(5);
+  auto pts = two_far_clusters(100, rng);
+  auto centroids = kmeans_dense(std::span<const DenseVector>(pts), 2, rng);
+  ASSERT_EQ(centroids.size(), 2u);
+  L2Space l2;
+  // One centroid near (0,0), the other near (100,100), in some order.
+  double d0 = std::min(l2.distance(centroids[0], {0, 0}),
+                       l2.distance(centroids[0], {100, 100}));
+  double d1 = std::min(l2.distance(centroids[1], {0, 0}),
+                       l2.distance(centroids[1], {100, 100}));
+  EXPECT_LT(d0, 5.0);
+  EXPECT_LT(d1, 5.0);
+  EXPECT_GT(l2.distance(centroids[0], centroids[1]), 100.0);
+}
+
+TEST(KMeansDense, CentroidsBeatGreedyOnClusterCenters) {
+  // On the paper's clustered data, k-means centroids sit near cluster
+  // centres while greedy landmarks sit at cluster fringes.
+  Rng rng(6);
+  SyntheticConfig cfg;
+  cfg.objects = 2000;
+  cfg.dims = 10;
+  cfg.clusters = 4;
+  cfg.deviation = 3;
+  auto data = generate_clustered(cfg, rng);
+  auto centroids =
+      kmeans_dense(std::span<const DenseVector>(data.points), 4, rng);
+  L2Space l2;
+  double worst = 0;
+  for (const auto& c : centroids) {
+    double best = 1e18;
+    for (const auto& center : data.centers) {
+      best = std::min(best, l2.distance(c, center));
+    }
+    worst = std::max(worst, best);
+  }
+  // Every centroid lands near some true cluster centre.
+  EXPECT_LT(worst, 8.0);
+}
+
+TEST(KMeansSpherical, SeparatesDisjointTopics) {
+  Rng rng(7);
+  std::vector<SparseVector> docs;
+  for (int i = 0; i < 60; ++i) {
+    // Topic A uses terms 0-9, topic B uses terms 100-109.
+    std::uint32_t base = (i % 2 == 0) ? 0u : 100u;
+    std::vector<SparseEntry> e;
+    for (int t = 0; t < 5; ++t) {
+      e.push_back(
+          SparseEntry{base + static_cast<std::uint32_t>(rng.below(10)),
+                      rng.uniform(0.5, 2.0)});
+    }
+    docs.emplace_back(std::move(e));
+  }
+  auto centroids =
+      kmeans_spherical(std::span<const SparseVector>(docs), 2, rng);
+  ASSERT_EQ(centroids.size(), 2u);
+  AngularSpace ang;
+  // The two centroids must be (nearly) orthogonal: disjoint topics.
+  EXPECT_GT(ang.distance(centroids[0], centroids[1]), 1.0);
+}
+
+TEST(KMeansSpherical, CentroidsAreDenserThanMembers) {
+  // The paper's key TREC observation: k-means centroids have more terms
+  // than individual documents, making them informative landmarks.
+  Rng rng(8);
+  std::vector<SparseVector> docs;
+  for (int i = 0; i < 100; ++i) {
+    std::vector<SparseEntry> e;
+    for (int t = 0; t < 6; ++t) {
+      e.push_back(SparseEntry{static_cast<std::uint32_t>(rng.below(200)),
+                              rng.uniform(0.5, 2.0)});
+    }
+    docs.emplace_back(std::move(e));
+  }
+  auto centroids =
+      kmeans_spherical(std::span<const SparseVector>(docs), 3, rng);
+  double avg_doc_terms = 0;
+  for (const auto& d : docs) avg_doc_terms += d.term_count();
+  avg_doc_terms /= docs.size();
+  double avg_centroid_terms = 0;
+  for (const auto& c : centroids) avg_centroid_terms += c.term_count();
+  avg_centroid_terms /= centroids.size();
+  EXPECT_GT(avg_centroid_terms, 2.0 * avg_doc_terms);
+}
+
+TEST(KMedoids, MedoidsAreSampleMembers) {
+  Rng rng(9);
+  std::vector<std::string> sample{"aaaa", "aaab", "zzzz", "zzzy",
+                                  "mmmm", "mmmn"};
+  EditDistanceSpace ed;
+  auto lm =
+      kmedoids_selection(ed, std::span<const std::string>(sample), 3, rng);
+  ASSERT_EQ(lm.size(), 3u);
+  for (const auto& l : lm) {
+    EXPECT_NE(std::find(sample.begin(), sample.end(), l), sample.end());
+  }
+}
+
+TEST(KMedoids, SeparatesStringClusters) {
+  Rng rng(10);
+  std::vector<std::string> sample;
+  for (int i = 0; i < 20; ++i) {
+    std::string a = "aaaaaaaa", z = "zzzzzzzz";
+    a[rng.below(8)] = 'b';
+    z[rng.below(8)] = 'y';
+    sample.push_back(a);
+    sample.push_back(z);
+  }
+  EditDistanceSpace ed;
+  auto lm =
+      kmedoids_selection(ed, std::span<const std::string>(sample), 2, rng);
+  EXPECT_GE(ed.distance(lm[0], lm[1]), 6.0);
+}
+
+// ----- mapper -----
+
+TEST(Mapper, MapsToLandmarkDistances) {
+  L2Space l2;
+  std::vector<DenseVector> lm{{0, 0}, {10, 0}};
+  LandmarkMapper<L2Space> mapper(l2, lm, uniform_boundary(2, 0, 20));
+  IndexPoint p = mapper.map({3, 4});
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_DOUBLE_EQ(p[0], 5.0);
+  EXPECT_DOUBLE_EQ(p[1], std::sqrt(49.0 + 16.0));
+}
+
+TEST(Mapper, ClampsToBoundary) {
+  L2Space l2;
+  std::vector<DenseVector> lm{{0, 0}};
+  LandmarkMapper<L2Space> mapper(l2, lm, uniform_boundary(1, 0, 5));
+  EXPECT_DOUBLE_EQ(mapper.map({100, 0})[0], 5.0);
+  EXPECT_DOUBLE_EQ(mapper.map_unclamped({100, 0})[0], 100.0);
+}
+
+TEST(Mapper, ContractiveUnderLInf) {
+  // |I(x) - I(y)|_inf <= d(x, y): the property that makes range queries
+  // in the index space a superset of the metric ball (paper §3.1).
+  Rng rng(11);
+  L2Space l2;
+  std::vector<DenseVector> sample;
+  for (int i = 0; i < 100; ++i) {
+    sample.push_back({rng.uniform(0, 50), rng.uniform(0, 50),
+                      rng.uniform(0, 50)});
+  }
+  auto lm = greedy_selection(l2, std::span<const DenseVector>(sample), 4, rng);
+  LandmarkMapper<L2Space> mapper(l2, lm, uniform_boundary(4, 0, 100));
+  for (int t = 0; t < 200; ++t) {
+    DenseVector x{rng.uniform(0, 50), rng.uniform(0, 50), rng.uniform(0, 50)};
+    DenseVector y{rng.uniform(0, 50), rng.uniform(0, 50), rng.uniform(0, 50)};
+    double lower = index_lower_bound(mapper.map(x), mapper.map(y));
+    EXPECT_LE(lower, l2.distance(x, y) + 1e-9);
+  }
+}
+
+TEST(Mapper, ContractiveForEditDistanceToo) {
+  Rng rng(12);
+  EditDistanceSpace ed;
+  std::vector<std::string> sample{"gattaca", "gattacc", "cicada",
+                                  "ttttttt", "gagaga", "acgtacgt"};
+  auto lm = greedy_selection(ed, std::span<const std::string>(sample), 3, rng);
+  LandmarkMapper<EditDistanceSpace> mapper(ed, lm, uniform_boundary(3, 0, 20));
+  auto rand_dna = [&rng]() {
+    std::string s;
+    for (std::uint64_t i = 4 + rng.below(6); i > 0; --i) {
+      s.push_back("acgt"[rng.below(4)]);
+    }
+    return s;
+  };
+  for (int t = 0; t < 100; ++t) {
+    std::string x = rand_dna(), y = rand_dna();
+    double lower = index_lower_bound(mapper.map(x), mapper.map(y));
+    EXPECT_LE(lower, ed.distance(x, y) + 1e-9);
+  }
+}
+
+TEST(Boundary, FromSampleCoversSampleDistances) {
+  Rng rng(13);
+  L2Space l2;
+  std::vector<DenseVector> sample;
+  for (int i = 0; i < 50; ++i) {
+    sample.push_back({rng.uniform(0, 10), rng.uniform(0, 10)});
+  }
+  auto lm = greedy_selection(l2, std::span<const DenseVector>(sample), 3, rng);
+  Boundary b = boundary_from_sample(l2, std::span<const DenseVector>(lm),
+                                    std::span<const DenseVector>(sample));
+  ASSERT_EQ(b.size(), 3u);
+  for (std::size_t i = 0; i < lm.size(); ++i) {
+    for (const auto& s : sample) {
+      double d = l2.distance(s, lm[i]);
+      EXPECT_GE(d, b[i].lo);
+      EXPECT_LE(d, b[i].hi);
+    }
+  }
+}
+
+TEST(Boundary, UniformBoundaryShape) {
+  Boundary b = uniform_boundary(5, -2, 3);
+  ASSERT_EQ(b.size(), 5u);
+  for (const auto& iv : b) {
+    EXPECT_DOUBLE_EQ(iv.lo, -2);
+    EXPECT_DOUBLE_EQ(iv.hi, 3);
+  }
+}
+
+TEST(IndexLowerBound, IsLInfOnIndexPoints) {
+  EXPECT_DOUBLE_EQ(index_lower_bound({1, 5, 2}, {3, 4, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(index_lower_bound({0}, {0}), 0.0);
+}
+
+}  // namespace
+}  // namespace lmk

@@ -1,0 +1,354 @@
+// Unit + property tests for the metric-space framework: Lp metrics,
+// angular distance, edit distance, Hausdorff, the bounded adapter, and
+// metric-axiom properties on random inputs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <string>
+
+#include "common/rng.hpp"
+#include "metric/dense.hpp"
+#include "metric/edit_distance.hpp"
+#include "metric/hausdorff.hpp"
+#include "metric/jaccard.hpp"
+#include "metric/metric_space.hpp"
+#include "metric/sparse_vector.hpp"
+
+namespace lmk {
+namespace {
+
+static_assert(MetricSpace<L2Space>);
+static_assert(MetricSpace<L1Space>);
+static_assert(MetricSpace<LInfSpace>);
+static_assert(MetricSpace<AngularSpace>);
+static_assert(MetricSpace<EditDistanceSpace>);
+static_assert(MetricSpace<HausdorffSpace>);
+static_assert(MetricSpace<BoundedSpace<L2Space>>);
+
+TEST(Lp, KnownDistances) {
+  DenseVector a{0, 0}, b{3, 4};
+  EXPECT_DOUBLE_EQ(L2Space{}.distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(L1Space{}.distance(a, b), 7.0);
+  EXPECT_DOUBLE_EQ(LInfSpace{}.distance(a, b), 4.0);
+}
+
+TEST(Lp, ZeroForIdenticalPoints) {
+  DenseVector a{1.5, -2.5, 3.0};
+  EXPECT_EQ(L2Space{}.distance(a, a), 0.0);
+  EXPECT_EQ(L1Space{}.distance(a, a), 0.0);
+  EXPECT_EQ(LInfSpace{}.distance(a, a), 0.0);
+}
+
+TEST(Lp, NormOrdering) {
+  // L∞ <= L2 <= L1 always.
+  Rng rng(1);
+  for (int t = 0; t < 200; ++t) {
+    DenseVector a(8), b(8);
+    for (int d = 0; d < 8; ++d) {
+      a[d] = rng.uniform(-10, 10);
+      b[d] = rng.uniform(-10, 10);
+    }
+    double linf = LInfSpace{}.distance(a, b);
+    double l2 = L2Space{}.distance(a, b);
+    double l1 = L1Space{}.distance(a, b);
+    EXPECT_LE(linf, l2 + 1e-12);
+    EXPECT_LE(l2, l1 + 1e-12);
+  }
+}
+
+template <typename S>
+void check_metric_axioms(const S& s, const typename S::Point& x,
+                         const typename S::Point& y,
+                         const typename S::Point& z) {
+  double dxy = s.distance(x, y);
+  double dyx = s.distance(y, x);
+  double dxz = s.distance(x, z);
+  double dyz = s.distance(y, z);
+  EXPECT_GE(dxy, 0.0);
+  EXPECT_NEAR(dxy, dyx, 1e-9 * (1.0 + dxy));
+  // acos amplifies rounding near cos = 1 (acos(1-eps) ~ sqrt(2 eps)), so
+  // self-distance of angular spaces is ~1e-8 rather than exactly 0.
+  EXPECT_NEAR(s.distance(x, x), 0.0, 1e-7);
+  // Triangle inequality with a small tolerance for floating point.
+  EXPECT_LE(dxz, dxy + dyz + 1e-9 * (1.0 + dxz));
+}
+
+TEST(MetricAxioms, L2RandomTriples) {
+  Rng rng(2);
+  L2Space s;
+  for (int t = 0; t < 200; ++t) {
+    DenseVector x(5), y(5), z(5);
+    for (int d = 0; d < 5; ++d) {
+      x[d] = rng.normal(0, 3);
+      y[d] = rng.normal(0, 3);
+      z[d] = rng.normal(0, 3);
+    }
+    check_metric_axioms(s, x, y, z);
+  }
+}
+
+TEST(MetricAxioms, L1RandomTriples) {
+  Rng rng(3);
+  L1Space s;
+  for (int t = 0; t < 200; ++t) {
+    DenseVector x(4), y(4), z(4);
+    for (int d = 0; d < 4; ++d) {
+      x[d] = rng.uniform(-5, 5);
+      y[d] = rng.uniform(-5, 5);
+      z[d] = rng.uniform(-5, 5);
+    }
+    check_metric_axioms(s, x, y, z);
+  }
+}
+
+SparseVector random_sparse(Rng& rng, std::uint32_t vocab, int max_terms) {
+  std::vector<SparseEntry> e;
+  int n = 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(max_terms)));
+  for (int i = 0; i < n; ++i) {
+    e.push_back(SparseEntry{static_cast<std::uint32_t>(rng.below(vocab)),
+                            rng.uniform(0.1, 5.0)});
+  }
+  return SparseVector(std::move(e));
+}
+
+TEST(MetricAxioms, AngularRandomTriples) {
+  Rng rng(4);
+  AngularSpace s;
+  for (int t = 0; t < 200; ++t) {
+    auto x = random_sparse(rng, 50, 8);
+    auto y = random_sparse(rng, 50, 8);
+    auto z = random_sparse(rng, 50, 8);
+    check_metric_axioms(s, x, y, z);
+  }
+}
+
+TEST(MetricAxioms, EditDistanceRandomTriples) {
+  Rng rng(5);
+  EditDistanceSpace s;
+  auto random_string = [&rng]() {
+    std::string out;
+    int n = static_cast<int>(rng.below(12));
+    for (int i = 0; i < n; ++i) {
+      out.push_back(static_cast<char>('a' + rng.below(4)));
+    }
+    return out;
+  };
+  for (int t = 0; t < 100; ++t) {
+    check_metric_axioms(s, random_string(), random_string(), random_string());
+  }
+}
+
+TEST(MetricAxioms, HausdorffRandomTriples) {
+  Rng rng(6);
+  HausdorffSpace s;
+  auto random_set = [&rng]() {
+    PointSet out;
+    int n = 1 + static_cast<int>(rng.below(6));
+    for (int i = 0; i < n; ++i) {
+      out.push_back(Point2D{rng.uniform(0, 10), rng.uniform(0, 10)});
+    }
+    return out;
+  };
+  for (int t = 0; t < 100; ++t) {
+    check_metric_axioms(s, random_set(), random_set(), random_set());
+  }
+}
+
+// ----- sparse vectors -----
+
+TEST(SparseVector, SortsAndMergesDuplicates) {
+  SparseVector v({{5, 1.0}, {2, 2.0}, {5, 3.0}});
+  ASSERT_EQ(v.term_count(), 2u);
+  EXPECT_EQ(v.entries()[0].term, 2u);
+  EXPECT_EQ(v.entries()[1].term, 5u);
+  EXPECT_DOUBLE_EQ(v.entries()[1].weight, 4.0);
+}
+
+TEST(SparseVector, DropsNonPositive) {
+  SparseVector v({{1, 0.0}, {2, 1.0}, {3, -1.0}, {3, 0.5}});
+  ASSERT_EQ(v.term_count(), 1u);
+  EXPECT_EQ(v.entries()[0].term, 2u);
+}
+
+TEST(SparseVector, DotDisjointIsZero) {
+  SparseVector a({{1, 1.0}, {3, 2.0}});
+  SparseVector b({{2, 1.0}, {4, 2.0}});
+  EXPECT_DOUBLE_EQ(a.dot(b), 0.0);
+}
+
+TEST(SparseVector, DotAndNorm) {
+  SparseVector a({{1, 3.0}, {2, 4.0}});
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  SparseVector b({{2, 2.0}});
+  EXPECT_DOUBLE_EQ(a.dot(b), 8.0);
+}
+
+TEST(SparseVector, AddScaledMerges) {
+  SparseVector a({{1, 1.0}});
+  SparseVector b({{1, 2.0}, {2, 4.0}});
+  a.add_scaled(b, 0.5);
+  ASSERT_EQ(a.term_count(), 2u);
+  EXPECT_DOUBLE_EQ(a.entries()[0].weight, 2.0);
+  EXPECT_DOUBLE_EQ(a.entries()[1].weight, 2.0);
+}
+
+TEST(Angular, IdenticalDirectionIsZero) {
+  SparseVector a({{1, 1.0}, {2, 2.0}});
+  SparseVector b({{1, 2.0}, {2, 4.0}});  // same direction, scaled
+  EXPECT_NEAR(AngularSpace{}.distance(a, b), 0.0, 1e-7);
+}
+
+TEST(Angular, OrthogonalIsHalfPi) {
+  SparseVector a({{1, 1.0}});
+  SparseVector b({{2, 1.0}});
+  EXPECT_NEAR(AngularSpace{}.distance(a, b), std::numbers::pi / 2, 1e-12);
+}
+
+TEST(Angular, EmptyVectorConventions) {
+  SparseVector zero;
+  SparseVector v({{1, 1.0}});
+  EXPECT_DOUBLE_EQ(AngularSpace{}.distance(zero, zero), 0.0);
+  EXPECT_DOUBLE_EQ(AngularSpace{}.distance(zero, v), std::numbers::pi / 2);
+}
+
+// ----- edit distance -----
+
+TEST(EditDistance, KnownValues) {
+  EXPECT_EQ(edit_distance("kitten", "sitting"), 3u);
+  EXPECT_EQ(edit_distance("", "abc"), 3u);
+  EXPECT_EQ(edit_distance("abc", ""), 3u);
+  EXPECT_EQ(edit_distance("same", "same"), 0u);
+  EXPECT_EQ(edit_distance("flaw", "lawn"), 2u);
+}
+
+TEST(EditDistance, SymmetricOnRandomStrings) {
+  Rng rng(7);
+  for (int t = 0; t < 100; ++t) {
+    std::string a, b;
+    for (std::uint64_t i = rng.below(10); i > 0; --i) {
+      a.push_back(static_cast<char>('a' + rng.below(3)));
+    }
+    for (std::uint64_t i = rng.below(10); i > 0; --i) {
+      b.push_back(static_cast<char>('a' + rng.below(3)));
+    }
+    EXPECT_EQ(edit_distance(a, b), edit_distance(b, a));
+  }
+}
+
+TEST(EditDistanceBounded, MatchesExactWithinBound) {
+  Rng rng(8);
+  for (int t = 0; t < 200; ++t) {
+    std::string a, b;
+    for (std::uint64_t i = rng.below(15); i > 0; --i) {
+      a.push_back(static_cast<char>('a' + rng.below(4)));
+    }
+    for (std::uint64_t i = rng.below(15); i > 0; --i) {
+      b.push_back(static_cast<char>('a' + rng.below(4)));
+    }
+    unsigned exact = edit_distance(a, b);
+    for (unsigned bound : {0u, 1u, 3u, 8u, 20u}) {
+      unsigned got = edit_distance_bounded(a, b, bound);
+      if (exact <= bound) {
+        EXPECT_EQ(got, exact) << a << " vs " << b << " bound " << bound;
+      } else {
+        EXPECT_GT(got, bound);
+      }
+    }
+  }
+}
+
+// ----- Hausdorff -----
+
+TEST(Hausdorff, IdenticalSetsZero) {
+  PointSet a{{0, 0}, {1, 1}};
+  EXPECT_DOUBLE_EQ(hausdorff_distance(a, a), 0.0);
+}
+
+TEST(Hausdorff, SubsetAsymmetryHandled) {
+  PointSet a{{0, 0}};
+  PointSet b{{0, 0}, {3, 4}};
+  // Directed distance a->b is 0, b->a is 5; symmetric H is 5.
+  EXPECT_DOUBLE_EQ(hausdorff_distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(hausdorff_distance(b, a), 5.0);
+}
+
+TEST(Hausdorff, TranslationDistance) {
+  PointSet a{{0, 0}, {1, 0}};
+  PointSet b{{0, 2}, {1, 2}};
+  EXPECT_DOUBLE_EQ(hausdorff_distance(a, b), 2.0);
+}
+
+// ----- Jaccard -----
+
+static_assert(MetricSpace<JaccardSpace>);
+
+TEST(Jaccard, SortsAndDeduplicates) {
+  ItemSet s({5, 1, 5, 3, 1});
+  EXPECT_EQ(s.items(), (std::vector<std::uint32_t>{1, 3, 5}));
+}
+
+TEST(Jaccard, KnownDistances) {
+  ItemSet a({1, 2, 3}), b({2, 3, 4}), c({7, 8});
+  // |a∩b| = 2, |a∪b| = 4 -> d = 0.5.
+  EXPECT_DOUBLE_EQ(jaccard_distance(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(jaccard_distance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(jaccard_distance(a, c), 1.0);
+}
+
+TEST(Jaccard, EmptySetConventions) {
+  ItemSet empty, one({1});
+  EXPECT_DOUBLE_EQ(jaccard_distance(empty, empty), 0.0);
+  EXPECT_DOUBLE_EQ(jaccard_distance(empty, one), 1.0);
+}
+
+TEST(Jaccard, IntersectionSizeMergeJoin) {
+  ItemSet a({1, 3, 5, 7, 9}), b({2, 3, 4, 7});
+  EXPECT_EQ(a.intersection_size(b), 2u);
+  EXPECT_EQ(b.intersection_size(a), 2u);
+}
+
+TEST(MetricAxioms, JaccardRandomTriples) {
+  Rng rng(31);
+  JaccardSpace s;
+  auto random_set = [&rng]() {
+    std::vector<std::uint32_t> items;
+    std::uint64_t n = 1 + rng.below(8);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      items.push_back(static_cast<std::uint32_t>(rng.below(15)));
+    }
+    return ItemSet(std::move(items));
+  };
+  for (int t = 0; t < 300; ++t) {
+    check_metric_axioms(s, random_set(), random_set(), random_set());
+  }
+}
+
+// ----- bounded adapter -----
+
+TEST(Bounded, MapsIntoUnitInterval) {
+  BoundedSpace<EditDistanceSpace> s{EditDistanceSpace{}};
+  double d = s.distance("aaaa", "bbbb");
+  EXPECT_GT(d, 0.0);
+  EXPECT_LT(d, 1.0);
+  EXPECT_DOUBLE_EQ(s.distance("x", "x"), 0.0);
+}
+
+TEST(Bounded, PreservesTriangleInequality) {
+  Rng rng(9);
+  BoundedSpace<L2Space> s{L2Space{}};
+  for (int t = 0; t < 100; ++t) {
+    DenseVector x{rng.uniform(0, 100)}, y{rng.uniform(0, 100)},
+        z{rng.uniform(0, 100)};
+    check_metric_axioms(s, x, y, z);
+  }
+}
+
+TEST(Bounded, Monotone) {
+  BoundedSpace<L2Space> s{L2Space{}};
+  DenseVector a{0}, b{1}, c{10};
+  EXPECT_LT(s.distance(a, b), s.distance(a, c));
+}
+
+}  // namespace
+}  // namespace lmk

@@ -1,0 +1,273 @@
+// Tests for the discrete-event simulator and the network layer.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/king_loader.hpp"
+#include "net/latency_model.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace lmk {
+namespace {
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.push(30, [&] { fired.push_back(3); });
+  q.push(10, [&] { fired.push_back(1); });
+  q.push(20, [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop(nullptr)();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TieBreaksByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    q.push(7, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop(nullptr)();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, PopReportsTime) {
+  EventQueue q;
+  q.push(42, [] {});
+  SimTime at = 0;
+  q.pop(&at);
+  EXPECT_EQ(at, 42);
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.schedule_after(100, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, 100);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  sim.schedule_after(10, [&] {
+    times.push_back(sim.now());
+    sim.schedule_after(5, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 15}));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_after(10, [&] { ++fired; });
+  sim.schedule_after(20, [&] { ++fired; });
+  sim.schedule_after(30, [&] { ++fired; });
+  EXPECT_EQ(sim.run_until(20), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 20);
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, RunWithLimitExecutesExactly) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) sim.schedule_after(i, [&] { ++fired; });
+  EXPECT_EQ(sim.run(4), 4u);
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(sim.pending(), 6u);
+}
+
+TEST(Simulator, DrainDropsPending) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_after(5, [&] { ++fired; });
+  sim.drain();
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, ZeroDelayRunsAtCurrentTime) {
+  Simulator sim;
+  sim.schedule_after(10, [] {});
+  sim.run();
+  SimTime seen = -1;
+  sim.schedule_after(0, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, 10);
+}
+
+// ----- latency models -----
+
+TEST(ConstantLatency, SymmetricZeroDiagonal) {
+  ConstantLatencyModel m(4, 10 * kMillisecond);
+  EXPECT_EQ(m.latency(0, 0), 0);
+  EXPECT_EQ(m.latency(1, 2), 10 * kMillisecond);
+  EXPECT_EQ(m.latency(2, 1), 10 * kMillisecond);
+  EXPECT_EQ(m.mean_rtt(), 20 * kMillisecond);
+}
+
+TEST(DelaySpace, HitsTargetMeanRtt) {
+  DelaySpaceModel::Options opts;
+  opts.hosts = 200;
+  opts.target_mean_rtt = 180 * kMillisecond;
+  opts.seed = 3;
+  DelaySpaceModel m(opts);
+  SimTime rtt = m.mean_rtt();
+  EXPECT_NEAR(static_cast<double>(rtt), 180.0 * kMillisecond,
+              2.0 * kMillisecond);
+}
+
+TEST(DelaySpace, SymmetricAndPositive) {
+  DelaySpaceModel::Options opts;
+  opts.hosts = 50;
+  opts.seed = 4;
+  DelaySpaceModel m(opts);
+  for (HostId a = 0; a < 50; ++a) {
+    for (HostId b = 0; b < 50; ++b) {
+      EXPECT_EQ(m.latency(a, b), m.latency(b, a));
+      if (a != b) EXPECT_GT(m.latency(a, b), 0);
+    }
+  }
+}
+
+TEST(DelaySpace, DeterministicForSeed) {
+  DelaySpaceModel::Options opts;
+  opts.hosts = 30;
+  opts.seed = 5;
+  DelaySpaceModel a(opts), b(opts);
+  for (HostId i = 0; i < 30; ++i) {
+    EXPECT_EQ(a.latency(0, i), b.latency(0, i));
+  }
+}
+
+TEST(DelaySpace, LatencySpreadIsRealistic) {
+  DelaySpaceModel::Options opts;
+  opts.hosts = 300;
+  opts.seed = 6;
+  DelaySpaceModel m(opts);
+  SimTime lo = m.latency(0, 1), hi = lo;
+  for (HostId a = 0; a < 100; ++a) {
+    for (HostId b = a + 1; b < 100; ++b) {
+      lo = std::min(lo, m.latency(a, b));
+      hi = std::max(hi, m.latency(a, b));
+    }
+  }
+  EXPECT_LT(lo * 4, hi);  // near vs far hosts differ substantially
+}
+
+TEST(MatrixLatency, SymmetrizesInput) {
+  std::vector<SimTime> m{0, 5, 9, 0};
+  MatrixLatencyModel model(2, std::move(m));
+  EXPECT_EQ(model.latency(0, 1), 9);
+  EXPECT_EQ(model.latency(1, 0), 9);
+  EXPECT_EQ(model.latency(0, 0), 0);
+}
+
+// ----- King-format matrix loader -----
+
+TEST(KingLoader, ParsesMeasurementsAndHalvesRtt) {
+  std::string error;
+  auto model = parse_king_matrix("0 1 20000\n1 2 40000\n", 3, &error);
+  ASSERT_NE(model, nullptr) << error;
+  EXPECT_EQ(model->latency(0, 1), 10000);
+  EXPECT_EQ(model->latency(1, 0), 10000);
+  EXPECT_EQ(model->latency(1, 2), 20000);
+  EXPECT_EQ(model->latency(0, 0), 0);
+}
+
+TEST(KingLoader, MissingPairsUseMedian) {
+  std::string error;
+  auto model = parse_king_matrix("0 1 10000\n1 2 30000\n2 3 50000\n", 4,
+                                 &error);
+  ASSERT_NE(model, nullptr) << error;
+  // Unmeasured pair (0,3) falls back to the median one-way (15000).
+  EXPECT_EQ(model->latency(0, 3), 15000);
+}
+
+TEST(KingLoader, IgnoresCommentsAndBlankLines) {
+  std::string error;
+  auto model = parse_king_matrix(
+      "# header comment\n\n0 1 1000  # trailing\n\n", 2, &error);
+  ASSERT_NE(model, nullptr) << error;
+  EXPECT_EQ(model->latency(0, 1), 500);
+}
+
+TEST(KingLoader, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_EQ(parse_king_matrix("0 1\n", 2, &error), nullptr);
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+  EXPECT_EQ(parse_king_matrix("0 9 100\n", 2, &error), nullptr);
+  EXPECT_EQ(parse_king_matrix("0 1 -5\n", 2, &error), nullptr);
+  EXPECT_EQ(parse_king_matrix("", 2, &error), nullptr);
+}
+
+TEST(KingLoader, LoadsFromFile) {
+  const char* path = "/tmp/lmk_king_test.txt";
+  {
+    std::FILE* f = std::fopen(path, "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("0 1 2000\n0 2 4000\n1 2 6000\n", f);
+    std::fclose(f);
+  }
+  std::string error;
+  auto model = load_king_matrix(path, 3, &error);
+  ASSERT_NE(model, nullptr) << error;
+  EXPECT_EQ(model->latency(2, 1), 3000);
+  EXPECT_EQ(load_king_matrix("/nonexistent/x", 3, &error), nullptr);
+}
+
+// ----- network -----
+
+TEST(Network, DeliversAfterLatency) {
+  Simulator sim;
+  ConstantLatencyModel topo(3, 25 * kMillisecond);
+  Network net(sim, topo);
+  SimTime arrival = -1;
+  net.send(0, 1, 100, [&] { arrival = sim.now(); });
+  sim.run();
+  EXPECT_EQ(arrival, 25 * kMillisecond);
+}
+
+TEST(Network, SelfSendIsImmediateButAsync) {
+  Simulator sim;
+  ConstantLatencyModel topo(2, 10);
+  Network net(sim, topo);
+  bool delivered = false;
+  net.send(1, 1, 10, [&] { delivered = true; });
+  EXPECT_FALSE(delivered);  // not synchronous
+  sim.run();
+  EXPECT_TRUE(delivered);
+}
+
+TEST(Network, CountsTraffic) {
+  Simulator sim;
+  ConstantLatencyModel topo(3, 5);
+  Network net(sim, topo);
+  TrafficCounter mine;
+  net.send(0, 1, 100, [] {}, &mine);
+  net.send(1, 2, 50, [] {});
+  sim.run();
+  EXPECT_EQ(net.total_traffic().messages, 2u);
+  EXPECT_EQ(net.total_traffic().bytes, 150u);
+  EXPECT_EQ(mine.messages, 1u);
+  EXPECT_EQ(mine.bytes, 100u);
+}
+
+TEST(Network, ConcurrentMessagesKeepOrderPerLatency) {
+  Simulator sim;
+  std::vector<SimTime> m{0, 10, 30, 10, 0, 10, 30, 10, 0};
+  MatrixLatencyModel topo(3, std::move(m));
+  Network net(sim, topo);
+  std::vector<int> order;
+  net.send(0, 2, 1, [&] { order.push_back(2); });  // 30us away
+  net.send(0, 1, 1, [&] { order.push_back(1); });  // 10us away
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+}  // namespace
+}  // namespace lmk

@@ -1,0 +1,260 @@
+// Tests for the workload generators: the Table 1 synthetic datasets and
+// the TREC-like corpus (Table 2 statistics, topical structure, queries).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/stats.hpp"
+#include "workload/corpus.hpp"
+#include "workload/synthetic.hpp"
+
+namespace lmk {
+namespace {
+
+TEST(Synthetic, RespectsConfigShape) {
+  Rng rng(1);
+  SyntheticConfig cfg;
+  cfg.objects = 500;
+  cfg.dims = 20;
+  cfg.clusters = 5;
+  auto data = generate_clustered(cfg, rng);
+  EXPECT_EQ(data.points.size(), 500u);
+  EXPECT_EQ(data.centers.size(), 5u);
+  EXPECT_EQ(data.assignments.size(), 500u);
+  for (const auto& p : data.points) {
+    ASSERT_EQ(p.size(), 20u);
+    for (double v : p) {
+      EXPECT_GE(v, cfg.range_lo);
+      EXPECT_LE(v, cfg.range_hi);
+    }
+  }
+}
+
+TEST(Synthetic, PointsClusterAroundTheirCenters) {
+  Rng rng(2);
+  SyntheticConfig cfg;
+  cfg.objects = 2000;
+  cfg.dims = 30;
+  cfg.clusters = 4;
+  cfg.deviation = 5;
+  auto data = generate_clustered(cfg, rng);
+  L2Space l2;
+  // A point should be far closer to its own centre than to the others
+  // (deviation 5 over 30 dims => expected distance ~ 5*sqrt(30) ≈ 27,
+  // while centres are ~100+ apart on average).
+  int misassigned = 0;
+  for (std::size_t i = 0; i < data.points.size(); ++i) {
+    double own = l2.distance(data.points[i], data.centers[data.assignments[i]]);
+    for (std::size_t c = 0; c < data.centers.size(); ++c) {
+      if (c == data.assignments[i]) continue;
+      if (l2.distance(data.points[i], data.centers[c]) < own) {
+        ++misassigned;
+        break;
+      }
+    }
+  }
+  EXPECT_LT(misassigned, 40);  // < 2%
+}
+
+TEST(Synthetic, PerDimensionDeviationMatches) {
+  Rng rng(3);
+  SyntheticConfig cfg;
+  cfg.objects = 20000;
+  cfg.dims = 4;
+  cfg.clusters = 1;
+  cfg.deviation = 10;
+  cfg.range_lo = -1000;  // wide range: clamping never kicks in
+  cfg.range_hi = 1000;
+  auto data = generate_clustered(cfg, rng);
+  Accumulator acc;
+  for (const auto& p : data.points) {
+    acc.add(p[0] - data.centers[0][0]);
+  }
+  EXPECT_NEAR(acc.stddev(), 10.0, 0.3);
+  EXPECT_NEAR(acc.mean(), 0.0, 0.3);
+}
+
+TEST(Synthetic, QueriesFollowDatasetDistribution) {
+  Rng rng(4);
+  SyntheticConfig cfg;
+  cfg.objects = 1000;
+  cfg.dims = 10;
+  cfg.clusters = 3;
+  cfg.deviation = 2;
+  auto data = generate_clustered(cfg, rng);
+  auto queries = generate_queries(cfg, data, 200, rng);
+  EXPECT_EQ(queries.size(), 200u);
+  L2Space l2;
+  // Every query lies near one of the dataset's cluster centres.
+  for (const auto& q : queries) {
+    double best = 1e18;
+    for (const auto& c : data.centers) {
+      best = std::min(best, l2.distance(q, c));
+    }
+    EXPECT_LT(best, 2.0 * cfg.deviation * std::sqrt(10.0) + 1e-9);
+  }
+}
+
+TEST(Synthetic, MaxTheoreticalDistanceMatchesPaper) {
+  SyntheticConfig cfg;  // paper defaults: 100 dims, range [0,100]
+  EXPECT_DOUBLE_EQ(max_theoretical_distance(cfg), 1000.0);
+}
+
+TEST(Synthetic, DeterministicForSeed) {
+  SyntheticConfig cfg;
+  cfg.objects = 100;
+  cfg.dims = 5;
+  Rng a(7), b(7);
+  auto da = generate_clustered(cfg, a);
+  auto db = generate_clustered(cfg, b);
+  EXPECT_EQ(da.points, db.points);
+}
+
+// ----- corpus -----
+
+CorpusConfig small_corpus_config() {
+  CorpusConfig cfg;
+  cfg.documents = 2000;
+  cfg.vocabulary = 20000;
+  cfg.topics = 20;
+  return cfg;
+}
+
+TEST(Corpus, DocumentCountAndSparsity) {
+  Rng rng(8);
+  Corpus corpus(small_corpus_config(), rng);
+  EXPECT_EQ(corpus.documents().size(), 2000u);
+  for (const auto& d : corpus.documents()) {
+    EXPECT_GE(d.term_count(), 1u);
+    EXPECT_LE(d.term_count(), 676u);
+  }
+}
+
+TEST(Corpus, VectorSizeDistributionMatchesTable2Shape) {
+  Rng rng(9);
+  CorpusConfig cfg = small_corpus_config();
+  cfg.documents = 8000;
+  Corpus corpus(cfg, rng);
+  auto sizes = corpus.vector_sizes();
+  double med = percentile(sizes, 50);
+  double p95 = percentile(sizes, 95);
+  double mean = 0;
+  for (double s : sizes) mean += s;
+  mean /= static_cast<double>(sizes.size());
+  // Table 2: median 146, 95th 293, mean 155.4 — check within a loose
+  // band (the generator is matched in shape, not digit-for-digit).
+  EXPECT_NEAR(med, 146, 40);
+  EXPECT_NEAR(p95, 293, 90);
+  EXPECT_NEAR(mean, 155.4, 40);
+}
+
+TEST(Corpus, StopWordsNeverAppear) {
+  Rng rng(10);
+  CorpusConfig cfg = small_corpus_config();
+  Corpus corpus(cfg, rng);
+  for (const auto& d : corpus.documents()) {
+    for (const auto& e : d.entries()) {
+      EXPECT_GE(e.term, cfg.stop_words);
+    }
+  }
+}
+
+TEST(Corpus, TopicAndStoryStructureShapeDistances) {
+  Rng rng(11);
+  Corpus corpus(small_corpus_config(), rng);
+  AngularSpace ang;
+  const auto& docs = corpus.documents();
+  const auto& topics = corpus.topics();
+  const auto& stories = corpus.stories();
+  Accumulator same_story, same_topic, diff;
+  Rng pick(12);
+  for (int t = 0; t < 30000; ++t) {
+    std::size_t i = pick.below(docs.size());
+    std::size_t j = pick.below(docs.size());
+    if (i == j) continue;
+    double d = ang.distance(docs[i], docs[j]);
+    if (topics[i] == topics[j] && stories[i] == stories[j]) {
+      same_story.add(d);
+    } else if (topics[i] == topics[j]) {
+      same_topic.add(d);
+    } else {
+      diff.add(d);
+    }
+  }
+  ASSERT_GT(same_story.count(), 10u);
+  ASSERT_GT(same_topic.count(), 100u);
+  ASSERT_GT(diff.count(), 100u);
+  // TF/IDF text geometry: most pairs are near-orthogonal, but the
+  // two-level structure must be clearly visible in the means.
+  EXPECT_LT(same_story.mean(), diff.mean() - 0.12);
+  EXPECT_LT(same_topic.mean(), diff.mean() - 0.03);
+}
+
+TEST(Corpus, QueriesAreShortAndTopical) {
+  Rng rng(13);
+  Corpus corpus(small_corpus_config(), rng);
+  auto queries = corpus.make_queries(500, 3.5, rng);
+  EXPECT_EQ(queries.size(), 500u);
+  double mean_terms = 0;
+  for (const auto& q : queries) {
+    EXPECT_GE(q.term_count(), 1u);
+    mean_terms += static_cast<double>(q.term_count());
+  }
+  mean_terms /= 500.0;
+  EXPECT_NEAR(mean_terms, 3.5, 0.8);
+}
+
+TEST(Corpus, QueriesMatchSomeDocuments) {
+  Rng rng(14);
+  Corpus corpus(small_corpus_config(), rng);
+  auto queries = corpus.make_queries(30, 3.5, rng);
+  AngularSpace ang;
+  int queries_with_neighbors = 0;
+  for (const auto& q : queries) {
+    double best = 10, sum = 0;
+    for (const auto& d : corpus.documents()) {
+      double x = ang.distance(q, d);
+      best = std::min(best, x);
+      sum += x;
+    }
+    double mean = sum / static_cast<double>(corpus.documents().size());
+    // The query's story gives it documents clearly closer than the bulk
+    // of the corpus — that is what makes its 10-NN set meaningful.
+    if (best < mean - 0.08) ++queries_with_neighbors;
+  }
+  EXPECT_GT(queries_with_neighbors, 24);
+}
+
+TEST(Corpus, IdfWeightingDownweightsCommonTerms) {
+  Rng rng(15);
+  CorpusConfig cfg = small_corpus_config();
+  Corpus corpus(cfg, rng);
+  // Find a very common and a rare term by scanning document frequencies.
+  std::unordered_map<std::uint32_t, int> df;
+  for (const auto& d : corpus.documents()) {
+    for (const auto& e : d.entries()) ++df[e.term];
+  }
+  int max_df = 0, min_df = 1 << 30;
+  for (const auto& [t, c] : df) {
+    max_df = std::max(max_df, c);
+    min_df = std::min(min_df, c);
+  }
+  EXPECT_GT(max_df, 50);  // Zipf head is genuinely common
+  EXPECT_LE(min_df, 3);   // Zipf tail is genuinely rare
+}
+
+TEST(Corpus, DeterministicForSeed) {
+  CorpusConfig cfg = small_corpus_config();
+  cfg.documents = 300;
+  Rng a(20), b(20);
+  Corpus ca(cfg, a), cb(cfg, b);
+  ASSERT_EQ(ca.documents().size(), cb.documents().size());
+  for (std::size_t i = 0; i < ca.documents().size(); ++i) {
+    ASSERT_EQ(ca.documents()[i].term_count(),
+              cb.documents()[i].term_count());
+  }
+}
+
+}  // namespace
+}  // namespace lmk
