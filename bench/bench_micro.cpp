@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "chord/ring.hpp"
+#include "eval/ground_truth.hpp"
 #include "landmark/mapper.hpp"
 #include "lph/lph.hpp"
 #include "metric/dense.hpp"
@@ -67,6 +68,109 @@ void BM_L2Distance(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_L2Distance)->Arg(100);
+
+// Dense storage comparison: one L2 scan over the whole point set, rows
+// held contiguously (DenseMatrix) vs one heap vector per point. The gap
+// is the pointer-chasing / cache-miss cost the contiguous layout
+// removes from the oracle and k-means hot loops.
+void BM_L2ScanVecOfVec(benchmark::State& state) {
+  auto rows = static_cast<std::size_t>(state.range(0));
+  Rng rng(21);
+  std::vector<DenseVector> pts(rows, DenseVector(100));
+  for (auto& p : pts) {
+    for (auto& v : p) v = rng.uniform(0, 100);
+  }
+  DenseVector q(100);
+  for (auto& v : q) v = rng.uniform(0, 100);
+  L2Space space;
+  for (auto _ : state) {
+    double acc = 0;
+    for (const auto& p : pts) acc += space.distance(q, p);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_L2ScanVecOfVec)->Arg(10000);
+
+void BM_L2ScanDenseMatrix(benchmark::State& state) {
+  auto rows = static_cast<std::size_t>(state.range(0));
+  Rng rng(21);
+  std::vector<DenseVector> pts(rows, DenseVector(100));
+  for (auto& p : pts) {
+    for (auto& v : p) v = rng.uniform(0, 100);
+  }
+  DenseMatrix m = DenseMatrix::from_rows(pts);
+  DenseVector q(100);
+  for (auto& v : q) v = rng.uniform(0, 100);
+  for (auto _ : state) {
+    double acc = 0;
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+      acc += l2_distance(q, m.row(r));
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_L2ScanDenseMatrix)->Arg(10000);
+
+// Squared-distance scan: same layout as above but deferring the sqrt —
+// the comparison-only path k-means assignment and the oracle ranking
+// use.
+void BM_L2SquaredScanDenseMatrix(benchmark::State& state) {
+  auto rows = static_cast<std::size_t>(state.range(0));
+  Rng rng(21);
+  std::vector<DenseVector> pts(rows, DenseVector(100));
+  for (auto& p : pts) {
+    for (auto& v : p) v = rng.uniform(0, 100);
+  }
+  DenseMatrix m = DenseMatrix::from_rows(pts);
+  DenseVector q(100);
+  for (auto& v : q) v = rng.uniform(0, 100);
+  for (auto _ : state) {
+    double acc = 0;
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+      acc += l2_squared(q, m.row(r));
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_L2SquaredScanDenseMatrix)->Arg(10000);
+
+// knn_bruteforce: the legacy type-erased std::function path vs the
+// templated kernel that inlines the distance callable.
+void BM_KnnBruteforceFunction(benchmark::State& state) {
+  Rng rng(22);
+  std::vector<DenseVector> pts(4096, DenseVector(32));
+  for (auto& p : pts) {
+    for (auto& v : p) v = rng.uniform(0, 100);
+  }
+  DenseVector q(32);
+  for (auto& v : q) v = rng.uniform(0, 100);
+  L2Space space;
+  std::function<double(std::size_t)> dist = [&](std::size_t i) {
+    return space.distance(q, pts[i]);
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(knn_bruteforce(pts.size(), dist, 10));
+  }
+}
+BENCHMARK(BM_KnnBruteforceFunction);
+
+void BM_KnnBruteforceTemplated(benchmark::State& state) {
+  Rng rng(22);
+  std::vector<DenseVector> pts(4096, DenseVector(32));
+  for (auto& p : pts) {
+    for (auto& v : p) v = rng.uniform(0, 100);
+  }
+  DenseMatrix m = DenseMatrix::from_rows(pts);
+  DenseVector q(32);
+  for (auto& v : q) v = rng.uniform(0, 100);
+  for (auto _ : state) {
+    // Squared distances: same ranking, no sqrt, no indirection.
+    benchmark::DoNotOptimize(knn_bruteforce_with(
+        m.rows(), [&](std::size_t i) { return l2_squared(q, m.row(i)); },
+        10));
+  }
+}
+BENCHMARK(BM_KnnBruteforceTemplated);
 
 void BM_AngularDistance(benchmark::State& state) {
   Rng rng(3);

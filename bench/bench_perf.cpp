@@ -1,0 +1,173 @@
+// Offline-phase performance baseline: times the four phases every
+// figure/table bench pays for — brute-force k-NN oracle, landmark
+// selection, index build (mapping + bulk insert), and the simulated
+// query batch — and writes BENCH_perf.json (phase → seconds, plus the
+// thread counts used).
+//
+// The three offline phases run twice, with 1 thread and with the
+// configured pool width (LMK_THREADS, default = hardware concurrency),
+// so the JSON records the parallel speedup on this machine. The query
+// phase is the discrete-event simulator: single-threaded by contract,
+// timed once. Outputs are checked to be identical across thread counts
+// before the file is written.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.hpp"
+#include "common/parallel.hpp"
+#include "core/index_platform.hpp"
+#include "eval/experiment.hpp"
+
+namespace lmk::bench {
+namespace {
+
+template <typename Fn>
+double time_s(Fn&& fn) {
+  auto t0 = std::chrono::steady_clock::now();
+  fn();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+struct PhaseTimes {
+  double oracle = 0;
+  double kmeans = 0;
+  double greedy = 0;
+  double build = 0;
+};
+
+int run() {
+  Scale s = Scale::resolve();
+  s.print("bench_perf");
+  std::size_t pool_threads = thread_count();
+  std::printf("pool threads: %zu\n", pool_threads);
+
+  SyntheticWorkload w(s);
+  std::size_t k = 10;  // landmarks (paper's synthetic default)
+  std::size_t sample_size = std::min(s.sample, w.data.points.size());
+
+  auto measure = [&](std::size_t threads,
+                     std::vector<std::vector<std::uint64_t>>* truth_out,
+                     std::vector<DenseVector>* kmeans_out) {
+    set_threads(threads);
+    PhaseTimes t;
+    t.oracle = time_s([&] {
+      *truth_out = knn_bruteforce_batch(w.space, w.data.points, w.queries,
+                                        /*k=*/10);
+    });
+    Rng sel_rng(s.seed + 7);
+    auto idx = sel_rng.sample_indices(w.data.points.size(), sample_size);
+    std::vector<DenseVector> sample;
+    sample.reserve(idx.size());
+    for (auto i : idx) sample.push_back(w.data.points[i]);
+    t.kmeans = time_s([&] {
+      Rng rng(s.seed + 8);
+      *kmeans_out =
+          kmeans_dense(std::span<const DenseVector>(sample), k, rng);
+    });
+    std::vector<DenseVector> greedy_lm;
+    t.greedy = time_s([&] {
+      Rng rng(s.seed + 9);
+      greedy_lm = greedy_selection(
+          w.space, std::span<const DenseVector>(sample), k, rng);
+    });
+    LandmarkMapper<L2Space> mapper(w.space, *kmeans_out,
+                                   uniform_boundary(k, 0, w.max_dist));
+    t.build = time_s([&] {
+      Simulator sim;
+      ConstantLatencyModel topo(s.nodes, kMillisecond);
+      Network net(sim, topo);
+      Ring ring(net, Ring::Options{});
+      for (HostId h = 0; h < static_cast<HostId>(s.nodes); ++h) {
+        ring.create_node(h);
+      }
+      ring.bootstrap();
+      IndexPlatform platform(ring);
+      std::uint32_t sc = platform.register_scheme(
+          "perf", uniform_boundary(k, 0, w.max_dist), false);
+      auto points =
+          mapper.map_all(std::span<const DenseVector>(w.data.points));
+      platform.bulk_insert(sc, points);
+      LMK_CHECK(platform.scheme_entries(sc) == w.data.points.size());
+    });
+    return t;
+  };
+
+  std::vector<std::vector<std::uint64_t>> truth1, truthN;
+  std::vector<DenseVector> kmeans1, kmeansN;
+  PhaseTimes t1 = measure(1, &truth1, &kmeans1);
+  PhaseTimes tN = measure(pool_threads, &truthN, &kmeansN);
+  LMK_CHECK(truth1 == truthN);    // determinism contract, enforced
+  LMK_CHECK(kmeans1 == kmeansN);
+
+  // Query phase: the simulated batch, single-threaded by contract.
+  set_threads(pool_threads);
+  ExperimentConfig cfg;
+  cfg.nodes = s.nodes;
+  cfg.seed = s.seed;
+  double query_s = 0;
+  double recall_sum = 0;
+  {
+    SimilarityExperiment<L2Space> exp(
+        cfg, w.space, w.data.points,
+        w.make_mapper(Selection::kKMeans, k, s.sample, s.seed + 8),
+        "perf-query");
+    exp.set_queries(w.queries, truthN);
+    query_s = time_s([&] {
+      QueryStats stats = exp.run_batch(0.05 * w.max_dist);
+      recall_sum = stats.recall.mean();
+    });
+  }
+  set_threads(0);
+
+  double off1 = t1.oracle + t1.kmeans + t1.greedy + t1.build;
+  double offN = tN.oracle + tN.kmeans + tN.greedy + tN.build;
+  std::printf("phase           1 thread      %zu threads\n", pool_threads);
+  std::printf("oracle      %10.3fs   %10.3fs\n", t1.oracle, tN.oracle);
+  std::printf("kmeans      %10.3fs   %10.3fs\n", t1.kmeans, tN.kmeans);
+  std::printf("greedy      %10.3fs   %10.3fs\n", t1.greedy, tN.greedy);
+  std::printf("build       %10.3fs   %10.3fs\n", t1.build, tN.build);
+  std::printf("offline sum %10.3fs   %10.3fs   (speedup %.2fx)\n", off1,
+              offN, offN > 0 ? off1 / offN : 0.0);
+  std::printf("query       %10.3fs  (simulated, single-threaded; "
+              "mean recall %.3f)\n",
+              query_s, recall_sum);
+
+  const char* out_path = std::getenv("LMK_PERF_OUT");
+  if (out_path == nullptr || *out_path == '\0') out_path = "BENCH_perf.json";
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"threads\": %zu,\n"
+               "  \"scale\": {\"nodes\": %zu, \"objects\": %zu, "
+               "\"queries\": %zu, \"sample\": %zu, \"seed\": %llu},\n"
+               "  \"phases\": {\n"
+               "    \"oracle\": {\"t1\": %.6f, \"tN\": %.6f},\n"
+               "    \"kmeans\": {\"t1\": %.6f, \"tN\": %.6f},\n"
+               "    \"greedy\": {\"t1\": %.6f, \"tN\": %.6f},\n"
+               "    \"build\": {\"t1\": %.6f, \"tN\": %.6f},\n"
+               "    \"query\": {\"tN\": %.6f}\n"
+               "  },\n"
+               "  \"offline_seconds_1_thread\": %.6f,\n"
+               "  \"offline_seconds_n_threads\": %.6f,\n"
+               "  \"offline_speedup\": %.4f\n"
+               "}\n",
+               pool_threads, s.nodes, s.objects, s.queries, sample_size,
+               static_cast<unsigned long long>(s.seed), t1.oracle, tN.oracle,
+               t1.kmeans, tN.kmeans, t1.greedy, tN.greedy, t1.build,
+               tN.build, query_s, off1, offN,
+               offN > 0 ? off1 / offN : 0.0);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}
+
+}  // namespace
+}  // namespace lmk::bench
+
+int main() { return lmk::bench::run(); }

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Build + tier-1 test smoke script, with optional sanitizer
+# instrumentation for the offline threading code.
+#
+# Usage:
+#   scripts/check.sh                    # plain RelWithDebInfo build + ctest
+#   LMK_SANITIZE=address scripts/check.sh
+#   LMK_SANITIZE=undefined scripts/check.sh
+#   LMK_SANITIZE=thread scripts/check.sh
+#
+# Each sanitizer gets its own build directory (build-check-<san>) so
+# instrumented and plain builds never mix objects.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SAN="${LMK_SANITIZE:-}"
+if [ -n "$SAN" ]; then
+  BUILD_DIR="build-check-${SAN}"
+  CMAKE_ARGS=(-DLMK_SANITIZE="${SAN}")
+else
+  BUILD_DIR="build-check"
+  CMAKE_ARGS=()
+fi
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  "${CMAKE_ARGS[@]}"
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+
+# Exercise the thread pool under the sanitizer with a wide pool even on
+# small CI machines.
+export LMK_THREADS="${LMK_THREADS:-8}"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+
+echo "check.sh: OK (${SAN:-no sanitizer}, LMK_THREADS=$LMK_THREADS)"

@@ -4,6 +4,7 @@
 
 #include "balance/rotation.hpp"
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 
 namespace lmk {
 
@@ -88,6 +89,25 @@ void IndexPlatform::insert(std::uint32_t scheme_id, std::uint64_t object,
   Id key = lph_hash(point, sch.boundary) + sch.rotation;
   for (ChordNode* node : replica_nodes(key)) {
     entries(*node, scheme_id).push_back(IndexEntry{key, object, point});
+  }
+}
+
+void IndexPlatform::bulk_insert(std::uint32_t scheme_id,
+                                std::span<const IndexPoint> points,
+                                std::uint64_t first_object) {
+  const SchemeRouting& sch = scheme(scheme_id);
+  // Phase 1 (parallel, read-only): hash every point to its placement
+  // key. Phase 2 (sequential, index order): mutate the node stores —
+  // identical entry order to a plain insert() loop.
+  std::vector<Id> keys(points.size());
+  parallel_for(points.size(), [&](std::size_t i) {
+    keys[i] = lph_hash(points[i], sch.boundary) + sch.rotation;
+  });
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (ChordNode* node : replica_nodes(keys[i])) {
+      entries(*node, scheme_id)
+          .push_back(IndexEntry{keys[i], first_object + i, points[i]});
+    }
   }
 }
 

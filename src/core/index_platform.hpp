@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -125,6 +126,14 @@ class IndexPlatform {
   /// Used to initialize experiments, mirroring the paper's setup phase.
   void insert(std::uint32_t scheme, std::uint64_t object,
               const IndexPoint& point);
+
+  /// Bulk-load a whole batch: points[i] is stored for object id
+  /// first_object + i. The LPH key computation fans out over the
+  /// deterministic thread pool; store mutation stays sequential in
+  /// index order, so the resulting placement is byte-identical to
+  /// calling insert() in a loop (for any thread count).
+  void bulk_insert(std::uint32_t scheme, std::span<const IndexPoint> points,
+                   std::uint64_t first_object = 0);
 
   /// Costed insertion: route a store request from `origin` through Chord
   /// to the owner. `done(hops)` fires when stored.

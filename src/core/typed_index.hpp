@@ -59,6 +59,16 @@ class LandmarkIndex {
     platform_->insert(scheme_, object, mapper_.map(p));
   }
 
+  /// Bulk-load a whole dataset: objects[i] becomes object id
+  /// first_object + i. Landmark mapping and LPH hashing fan out over
+  /// the deterministic thread pool; the store placement is identical to
+  /// an insert() loop for any thread count.
+  void bulk_load(std::span<const Point> objects,
+                 std::uint64_t first_object = 0) {
+    std::vector<IndexPoint> points = mapper_.map_all(objects);
+    platform_->bulk_insert(scheme_, points, first_object);
+  }
+
   /// Index one object through the network from `origin` (costed).
   void insert_via_network(ChordNode& origin, std::uint64_t object,
                           const Point& p,
@@ -131,10 +141,7 @@ class LandmarkIndex {
     platform_->clear_scheme(scheme_);
     platform_->update_scheme_boundary(scheme_, new_mapper.boundary());
     mapper_ = std::move(new_mapper);
-    for (std::size_t i = 0; i < objects.size(); ++i) {
-      platform_->insert(scheme_, static_cast<std::uint64_t>(i),
-                        mapper_.map(objects[i]));
-    }
+    bulk_load(objects);
     return objects.size();
   }
 

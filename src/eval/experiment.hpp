@@ -76,9 +76,9 @@ class SimilarityExperiment {
     index_->bind_objects([this](std::uint64_t id) -> const Point& {
       return dataset_[static_cast<std::size_t>(id)];
     });
-    for (std::size_t i = 0; i < dataset_.size(); ++i) {
-      index_->insert(static_cast<std::uint64_t>(i), dataset_[i]);
-    }
+    // Parallel offline build: landmark mapping + LPH hashing fan out
+    // over the pool; placement is identical to a per-object insert loop.
+    index_->bulk_load(dataset_);
     if (cfg.load_balance) {
       LoadBalancer::Options bopts;
       bopts.delta = cfg.delta;
@@ -111,18 +111,12 @@ class SimilarityExperiment {
   }
 
   /// Compute the brute-force k-NN truth for a query set over a dataset
-  /// (shareable across experiments; see set_queries overload).
+  /// (shareable across experiments; see set_queries overload). The
+  /// oracle fans out per query over the deterministic thread pool.
   static std::vector<std::vector<std::uint64_t>> compute_truth(
       const S& space, const std::vector<Point>& dataset,
       const std::vector<Point>& queries, std::size_t k) {
-    std::vector<std::vector<std::uint64_t>> out;
-    out.reserve(queries.size());
-    for (const Point& q : queries) {
-      out.push_back(knn_bruteforce(
-          dataset.size(),
-          [&](std::size_t j) { return space.distance(q, dataset[j]); }, k));
-    }
-    return out;
+    return knn_bruteforce_batch(space, dataset, queries, k);
   }
 
   /// Run every installed query once as a range query of the given
@@ -178,7 +172,7 @@ class SimilarityExperiment {
     auto& slot = truth_cache_[qi];
     if (!slot.has_value()) {
       const Point& q = queries_[qi];
-      slot = knn_bruteforce(
+      slot = knn_bruteforce_with(
           dataset_.size(),
           [this, &q](std::size_t j) { return space_.distance(q, dataset_[j]); },
           cfg_.top_k);

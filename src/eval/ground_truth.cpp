@@ -1,9 +1,6 @@
 #include "eval/ground_truth.hpp"
 
-#include <algorithm>
 #include <unordered_set>
-
-#include "common/check.hpp"
 
 namespace lmk {
 
@@ -11,19 +8,7 @@ std::vector<std::uint64_t> knn_bruteforce(
     std::size_t n, const std::function<double(std::size_t)>& distance_to,
     std::size_t k) {
   LMK_CHECK(distance_to != nullptr);
-  std::vector<std::pair<double, std::uint64_t>> scored;
-  scored.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    scored.emplace_back(distance_to(i), static_cast<std::uint64_t>(i));
-  }
-  std::size_t keep = std::min(k, scored.size());
-  std::partial_sort(scored.begin(),
-                    scored.begin() + static_cast<std::ptrdiff_t>(keep),
-                    scored.end());
-  std::vector<std::uint64_t> out;
-  out.reserve(keep);
-  for (std::size_t i = 0; i < keep; ++i) out.push_back(scored[i].second);
-  return out;
+  return knn_bruteforce_with(n, distance_to, k);
 }
 
 std::vector<std::uint64_t> range_bruteforce(

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 #include "metric/metric_space.hpp"
 
 namespace lmk {
@@ -86,6 +87,19 @@ class LandmarkMapper {
     for (std::size_t i = 0; i < dims(); ++i) {
       out[i] = space_->distance(p, landmarks_[i]);
     }
+    return out;
+  }
+
+  /// Bulk mapping for index builds: map every point, fanned out over the
+  /// deterministic thread pool (points × landmarks distance evaluations
+  /// are the dominant cost of loading a dataset). Each worker writes
+  /// only its own output slots, so the result is bit-identical for any
+  /// thread count. Requires a pure (thread-safe) distance.
+  [[nodiscard]] std::vector<IndexPoint> map_all(
+      std::span<const Point> points) const {
+    std::vector<IndexPoint> out(points.size());
+    parallel_for(points.size(),
+                 [&](std::size_t i) { out[i] = map(points[i]); });
     return out;
   }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.hpp"
+
 namespace lmk {
 
 std::vector<DenseVector> kmeans_dense(std::span<const DenseVector> sample,
@@ -11,33 +13,35 @@ std::vector<DenseVector> kmeans_dense(std::span<const DenseVector> sample,
   LMK_CHECK(k >= 1);
   LMK_CHECK(sample.size() >= k);
   std::size_t dims = sample[0].size();
-  L2Space l2;
+  std::size_t n = sample.size();
+  // Contiguous copy of the sample: the assignment loops stream rows
+  // linearly instead of chasing a pointer per point.
+  DenseMatrix pts = DenseMatrix::from_rows(sample);
 
-  // k-means++ style seeding keeps clusters from collapsing onto one mode.
+  // k-means++ style seeding keeps clusters from collapsing onto one
+  // mode. d2[i] is maintained incrementally as the min squared distance
+  // from sample[i] to the centroids chosen so far — O(k·n) total work
+  // instead of recomputing against every centroid each round (O(k²·n)).
   std::vector<DenseVector> centroids;
   centroids.reserve(k);
-  centroids.push_back(sample[rng.below(sample.size())]);
-  std::vector<double> d2(sample.size());
+  centroids.push_back(sample[rng.below(n)]);
+  std::vector<double> d2(n);
+  parallel_for(n, [&](std::size_t i) {
+    d2[i] = l2_squared(pts.row(i), centroids.front());
+  });
   while (centroids.size() < k) {
     double total = 0;
-    for (std::size_t i = 0; i < sample.size(); ++i) {
-      double best = -1;
-      for (const auto& c : centroids) {
-        double d = l2.distance(sample[i], c);
-        double dd = d * d;
-        if (best < 0 || dd < best) best = dd;
-      }
-      d2[i] = best;
-      total += best;
-    }
+    for (double v : d2) total += v;  // index order: deterministic sum
     if (total <= 0) {
-      centroids.push_back(sample[rng.below(sample.size())]);
+      // All remaining mass on chosen points (duplicate-heavy sample):
+      // fall back to uniform picks. d2 is all zero, so no update needed.
+      centroids.push_back(sample[rng.below(n)]);
       continue;
     }
     double pick = rng.uniform() * total;
-    std::size_t chosen = sample.size() - 1;
+    std::size_t chosen = n - 1;
     double acc = 0;
-    for (std::size_t i = 0; i < sample.size(); ++i) {
+    for (std::size_t i = 0; i < n; ++i) {
       acc += d2[i];
       if (acc >= pick) {
         chosen = i;
@@ -45,46 +49,70 @@ std::vector<DenseVector> kmeans_dense(std::span<const DenseVector> sample,
       }
     }
     centroids.push_back(sample[chosen]);
+    const DenseVector& c = centroids.back();
+    parallel_for(n, [&](std::size_t i) {
+      d2[i] = std::min(d2[i], l2_squared(pts.row(i), c));
+    });
   }
 
-  std::vector<std::size_t> assign(sample.size(), k);
+  // Lloyd iterations. Assignment (the O(n·k·dims) hot loop) runs on the
+  // pool with squared distances — argmin is unchanged under sqrt, and
+  // each worker writes only assign_next[i]; the update step stays
+  // sequential so sums accumulate in index order (deterministic) and
+  // empty-cluster re-seeds draw from the rng in a fixed order.
+  DenseMatrix cent(k, dims);
+  for (std::size_t c = 0; c < k; ++c) {
+    std::copy(centroids[c].begin(), centroids[c].end(), cent.row(c).begin());
+  }
+  std::vector<std::size_t> assign(n, k);
+  std::vector<std::size_t> assign_next(n);
   for (int iter = 0; iter < max_iters; ++iter) {
-    bool changed = false;
-    for (std::size_t i = 0; i < sample.size(); ++i) {
+    parallel_for(n, [&](std::size_t i) {
+      std::span<const double> p = pts.row(i);
       std::size_t best = 0;
-      double best_d = l2.distance(sample[i], centroids[0]);
+      double best_d = l2_squared(p, cent.row(0));
       for (std::size_t c = 1; c < k; ++c) {
-        double d = l2.distance(sample[i], centroids[c]);
+        double d = l2_squared(p, cent.row(c));
         if (d < best_d) {
           best_d = d;
           best = c;
         }
       }
-      if (assign[i] != best) {
-        assign[i] = best;
+      assign_next[i] = best;
+    });
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (assign[i] != assign_next[i]) {
+        assign[i] = assign_next[i];
         changed = true;
       }
     }
     if (!changed) break;
     std::vector<DenseVector> sums(k, DenseVector(dims, 0.0));
     std::vector<std::size_t> counts(k, 0);
-    for (std::size_t i = 0; i < sample.size(); ++i) {
+    for (std::size_t i = 0; i < n; ++i) {
       std::size_t c = assign[i];
-      for (std::size_t d = 0; d < dims; ++d) sums[c][d] += sample[i][d];
+      std::span<const double> p = pts.row(i);
+      for (std::size_t d = 0; d < dims; ++d) sums[c][d] += p[d];
       ++counts[c];
     }
     for (std::size_t c = 0; c < k; ++c) {
+      std::span<double> row = cent.row(c);
       if (counts[c] == 0) {
         // Re-seed an empty cluster on a random sample point.
-        centroids[c] = sample[rng.below(sample.size())];
+        std::span<const double> p = pts.row(rng.below(n));
+        std::copy(p.begin(), p.end(), row.begin());
         continue;
       }
       for (std::size_t d = 0; d < dims; ++d) {
-        centroids[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+        row[d] = sums[c][d] / static_cast<double>(counts[c]);
       }
     }
   }
-  return centroids;
+  std::vector<DenseVector> out;
+  out.reserve(k);
+  for (std::size_t c = 0; c < k; ++c) out.push_back(cent.row_vector(c));
+  return out;
 }
 
 std::vector<SparseVector> kmeans_spherical(std::span<const SparseVector> sample,
@@ -93,17 +121,20 @@ std::vector<SparseVector> kmeans_spherical(std::span<const SparseVector> sample,
   LMK_CHECK(k >= 1);
   LMK_CHECK(sample.size() >= k);
   AngularSpace ang;
+  std::size_t n = sample.size();
 
   std::vector<SparseVector> centroids;
   centroids.reserve(k);
-  for (std::size_t idx : rng.sample_indices(sample.size(), k)) {
+  for (std::size_t idx : rng.sample_indices(n, k)) {
     centroids.push_back(sample[idx]);
   }
 
-  std::vector<std::size_t> assign(sample.size(), k);
+  std::vector<std::size_t> assign(n, k);
+  std::vector<std::size_t> assign_next(n);
   for (int iter = 0; iter < max_iters; ++iter) {
-    bool changed = false;
-    for (std::size_t i = 0; i < sample.size(); ++i) {
+    // Assignment fans out over the pool (AngularSpace::distance is
+    // pure); each worker writes only its own assign_next slots.
+    parallel_for(n, [&](std::size_t i) {
       std::size_t best = 0;
       double best_d = ang.distance(sample[i], centroids[0]);
       for (std::size_t c = 1; c < k; ++c) {
@@ -113,8 +144,12 @@ std::vector<SparseVector> kmeans_spherical(std::span<const SparseVector> sample,
           best = c;
         }
       }
-      if (assign[i] != best) {
-        assign[i] = best;
+      assign_next[i] = best;
+    });
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (assign[i] != assign_next[i]) {
+        assign[i] = assign_next[i];
         changed = true;
       }
     }
@@ -122,14 +157,14 @@ std::vector<SparseVector> kmeans_spherical(std::span<const SparseVector> sample,
     for (std::size_t c = 0; c < k; ++c) {
       SparseVector sum;
       std::size_t count = 0;
-      for (std::size_t i = 0; i < sample.size(); ++i) {
+      for (std::size_t i = 0; i < n; ++i) {
         if (assign[i] != c || sample[i].empty()) continue;
         // Sum of unit vectors: direction of the spherical mean.
         sum.add_scaled(sample[i], 1.0 / sample[i].norm());
         ++count;
       }
       if (count == 0 || sum.norm() == 0) {
-        centroids[c] = sample[rng.below(sample.size())];
+        centroids[c] = sample[rng.below(n)];
       } else {
         sum.scale(1.0 / sum.norm());
         centroids[c] = std::move(sum);

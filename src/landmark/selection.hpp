@@ -12,10 +12,12 @@
 // the dataset.
 #pragma once
 
+#include <algorithm>
 #include <span>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "metric/dense.hpp"
 #include "metric/metric_space.hpp"
@@ -26,7 +28,10 @@ namespace lmk {
 /// Algorithm 1 (GreedySelection): start from a random sample member, then
 /// repeatedly add the sample object farthest from the chosen set (the
 /// distance of an object to a set being its minimum distance to any
-/// member). Works for any metric space.
+/// member). Works for any metric space whose distance is pure (the
+/// per-point set-distance updates fan out over the thread pool; each
+/// worker writes only its own dist_to_set slots, so the result is
+/// bit-identical for any thread count).
 template <MetricSpace S>
 [[nodiscard]] std::vector<typename S::Point> greedy_selection(
     const S& space, std::span<const typename S::Point> sample, std::size_t k,
@@ -39,19 +44,20 @@ template <MetricSpace S>
   landmarks.push_back(sample[first]);
   // dist_to_set[i] = min distance from sample[i] to the current set.
   std::vector<double> dist_to_set(sample.size());
-  for (std::size_t i = 0; i < sample.size(); ++i) {
+  parallel_for(sample.size(), [&](std::size_t i) {
     dist_to_set[i] = space.distance(sample[i], landmarks.back());
-  }
+  });
   while (landmarks.size() < k) {
     std::size_t far = 0;
     for (std::size_t i = 1; i < sample.size(); ++i) {
       if (dist_to_set[i] > dist_to_set[far]) far = i;
     }
     landmarks.push_back(sample[far]);
-    for (std::size_t i = 0; i < sample.size(); ++i) {
-      dist_to_set[i] = std::min(
-          dist_to_set[i], space.distance(sample[i], landmarks.back()));
-    }
+    const typename S::Point& newest = landmarks.back();
+    parallel_for(sample.size(), [&](std::size_t i) {
+      dist_to_set[i] =
+          std::min(dist_to_set[i], space.distance(sample[i], newest));
+    });
   }
   return landmarks;
 }

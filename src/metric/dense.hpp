@@ -3,9 +3,17 @@
 // These are the metrics of the paper's synthetic evaluation (Euclidean on
 // 100-dimensional clustered data) and of the vocal-pattern / time-series
 // application examples (L1, L2).
+//
+// The distance kernels operate on std::span so they run identically over
+// std::vector<double> points and over rows of the contiguous DenseMatrix
+// storage below. l2_squared is the comparison-only fast path: ranking by
+// squared distance is ranking by distance (sqrt is monotone and preserves
+// ties), so argmin/top-k consumers defer the sqrt entirely.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
+#include <span>
 #include <vector>
 
 #include "common/check.hpp"
@@ -15,18 +23,51 @@ namespace lmk {
 /// A dense point in R^d.
 using DenseVector = std::vector<double>;
 
+/// Squared Euclidean distance — the sqrt-free comparison kernel.
+[[nodiscard]] inline double l2_squared(std::span<const double> a,
+                                       std::span<const double> b) {
+  LMK_DCHECK(a.size() == b.size());
+  double acc = 0;
+  const double* pa = a.data();
+  const double* pb = b.data();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    double d = pa[i] - pb[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+[[nodiscard]] inline double l2_distance(std::span<const double> a,
+                                        std::span<const double> b) {
+  return std::sqrt(l2_squared(a, b));
+}
+
+[[nodiscard]] inline double l1_distance(std::span<const double> a,
+                                        std::span<const double> b) {
+  LMK_DCHECK(a.size() == b.size());
+  double acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += std::abs(a[i] - b[i]);
+  }
+  return acc;
+}
+
+[[nodiscard]] inline double linf_distance(std::span<const double> a,
+                                          std::span<const double> b) {
+  LMK_DCHECK(a.size() == b.size());
+  double acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc = std::max(acc, std::abs(a[i] - b[i]));
+  }
+  return acc;
+}
+
 /// Euclidean distance (L2): d(x,y) = sqrt(sum (x_i - y_i)^2).
 struct L2Space {
   using Point = DenseVector;
 
   [[nodiscard]] double distance(const Point& a, const Point& b) const {
-    LMK_DCHECK(a.size() == b.size());
-    double acc = 0;
-    for (std::size_t i = 0; i < a.size(); ++i) {
-      double d = a[i] - b[i];
-      acc += d * d;
-    }
-    return std::sqrt(acc);
+    return l2_distance(a, b);
   }
 };
 
@@ -35,12 +76,7 @@ struct L1Space {
   using Point = DenseVector;
 
   [[nodiscard]] double distance(const Point& a, const Point& b) const {
-    LMK_DCHECK(a.size() == b.size());
-    double acc = 0;
-    for (std::size_t i = 0; i < a.size(); ++i) {
-      acc += std::abs(a[i] - b[i]);
-    }
-    return acc;
+    return l1_distance(a, b);
   }
 };
 
@@ -50,13 +86,63 @@ struct LInfSpace {
   using Point = DenseVector;
 
   [[nodiscard]] double distance(const Point& a, const Point& b) const {
-    LMK_DCHECK(a.size() == b.size());
-    double acc = 0;
-    for (std::size_t i = 0; i < a.size(); ++i) {
-      acc = std::max(acc, std::abs(a[i] - b[i]));
-    }
-    return acc;
+    return linf_distance(a, b);
   }
+};
+
+/// Contiguous row-major storage for a set of equal-dimension dense
+/// points. One allocation instead of rows+1, so row scans (the oracle,
+/// k-means assignment, landmark mapping) stream linearly through memory
+/// rather than chasing a pointer per point.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+
+  DenseMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Copy a vector-of-vectors point set into contiguous storage. Every
+  /// row must have the same dimension.
+  static DenseMatrix from_rows(std::span<const DenseVector> rows) {
+    DenseMatrix m;
+    if (rows.empty()) return m;
+    m.rows_ = rows.size();
+    m.cols_ = rows[0].size();
+    m.data_.resize(m.rows_ * m.cols_);
+    for (std::size_t r = 0; r < m.rows_; ++r) {
+      LMK_CHECK(rows[r].size() == m.cols_);
+      std::copy(rows[r].begin(), rows[r].end(),
+                m.data_.begin() + static_cast<std::ptrdiff_t>(r * m.cols_));
+    }
+    return m;
+  }
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] bool empty() const { return rows_ == 0; }
+
+  [[nodiscard]] std::span<const double> row(std::size_t r) const {
+    LMK_DCHECK(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] std::span<double> row(std::size_t r) {
+    LMK_DCHECK(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// Copy one row out as an owning DenseVector.
+  [[nodiscard]] DenseVector row_vector(std::size_t r) const {
+    auto s = row(r);
+    return DenseVector(s.begin(), s.end());
+  }
+
+  [[nodiscard]] const std::vector<double>& data() const { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
 };
 
 }  // namespace lmk
