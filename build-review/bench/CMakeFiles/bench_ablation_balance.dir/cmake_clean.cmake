@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_balance.dir/bench_ablation_balance.cpp.o"
+  "CMakeFiles/bench_ablation_balance.dir/bench_ablation_balance.cpp.o.d"
+  "bench_ablation_balance"
+  "bench_ablation_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

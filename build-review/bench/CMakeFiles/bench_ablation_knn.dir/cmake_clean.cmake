@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_knn.dir/bench_ablation_knn.cpp.o"
+  "CMakeFiles/bench_ablation_knn.dir/bench_ablation_knn.cpp.o.d"
+  "bench_ablation_knn"
+  "bench_ablation_knn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pns.dir/bench_ablation_pns.cpp.o"
+  "CMakeFiles/bench_ablation_pns.dir/bench_ablation_pns.cpp.o.d"
+  "bench_ablation_pns"
+  "bench_ablation_pns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rotation.dir/bench_ablation_rotation.cpp.o"
+  "CMakeFiles/bench_ablation_rotation.dir/bench_ablation_rotation.cpp.o.d"
+  "bench_ablation_rotation"
+  "bench_ablation_rotation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rotation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

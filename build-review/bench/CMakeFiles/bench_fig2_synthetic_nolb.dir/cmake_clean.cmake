@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_synthetic_nolb.dir/bench_fig2_synthetic_nolb.cpp.o"
+  "CMakeFiles/bench_fig2_synthetic_nolb.dir/bench_fig2_synthetic_nolb.cpp.o.d"
+  "bench_fig2_synthetic_nolb"
+  "bench_fig2_synthetic_nolb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_synthetic_nolb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_synthetic_lb.dir/bench_fig3_synthetic_lb.cpp.o"
+  "CMakeFiles/bench_fig3_synthetic_lb.dir/bench_fig3_synthetic_lb.cpp.o.d"
+  "bench_fig3_synthetic_lb"
+  "bench_fig3_synthetic_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_synthetic_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5_trec_lb.cpp" "bench/CMakeFiles/bench_fig5_trec_lb.dir/bench_fig5_trec_lb.cpp.o" "gcc" "bench/CMakeFiles/bench_fig5_trec_lb.dir/bench_fig5_trec_lb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/lmk_eval.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/lmk_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/lmk_routing.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/lmk_lph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/lmk_balance.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/lmk_chord.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/lmk_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/lmk_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/lmk_landmark.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/lmk_workload.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/lmk_ir.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/lmk_metric.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/lmk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

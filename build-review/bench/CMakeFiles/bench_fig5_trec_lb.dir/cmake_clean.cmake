@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_trec_lb.dir/bench_fig5_trec_lb.cpp.o"
+  "CMakeFiles/bench_fig5_trec_lb.dir/bench_fig5_trec_lb.cpp.o.d"
+  "bench_fig5_trec_lb"
+  "bench_fig5_trec_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_trec_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

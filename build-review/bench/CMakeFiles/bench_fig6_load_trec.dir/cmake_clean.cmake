@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_load_trec.dir/bench_fig6_load_trec.cpp.o"
+  "CMakeFiles/bench_fig6_load_trec.dir/bench_fig6_load_trec.cpp.o.d"
+  "bench_fig6_load_trec"
+  "bench_fig6_load_trec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_load_trec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_docvec.dir/bench_table2_docvec.cpp.o"
+  "CMakeFiles/bench_table2_docvec.dir/bench_table2_docvec.cpp.o.d"
+  "bench_table2_docvec"
+  "bench_table2_docvec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_docvec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dna_search.dir/dna_search.cpp.o"
+  "CMakeFiles/dna_search.dir/dna_search.cpp.o.d"
+  "dna_search"
+  "dna_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dna_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

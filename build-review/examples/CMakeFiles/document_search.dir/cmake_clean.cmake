@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/document_search.dir/document_search.cpp.o"
+  "CMakeFiles/document_search.dir/document_search.cpp.o.d"
+  "document_search"
+  "document_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/document_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knn_search.dir/knn_search.cpp.o"
+  "CMakeFiles/knn_search.dir/knn_search.cpp.o.d"
+  "knn_search"
+  "knn_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knn_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

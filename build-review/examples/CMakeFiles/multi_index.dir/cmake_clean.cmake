@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_index.dir/multi_index.cpp.o"
+  "CMakeFiles/multi_index.dir/multi_index.cpp.o.d"
+  "multi_index"
+  "multi_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

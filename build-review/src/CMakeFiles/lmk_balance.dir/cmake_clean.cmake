@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmk_balance.dir/balance/migration.cpp.o"
+  "CMakeFiles/lmk_balance.dir/balance/migration.cpp.o.d"
+  "liblmk_balance.a"
+  "liblmk_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmk_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmk_chord.dir/chord/node.cpp.o"
+  "CMakeFiles/lmk_chord.dir/chord/node.cpp.o.d"
+  "CMakeFiles/lmk_chord.dir/chord/ring.cpp.o"
+  "CMakeFiles/lmk_chord.dir/chord/ring.cpp.o.d"
+  "liblmk_chord.a"
+  "liblmk_chord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmk_chord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmk_common.dir/common/parallel.cpp.o"
+  "CMakeFiles/lmk_common.dir/common/parallel.cpp.o.d"
+  "CMakeFiles/lmk_common.dir/common/rng.cpp.o"
+  "CMakeFiles/lmk_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/lmk_common.dir/common/stats.cpp.o"
+  "CMakeFiles/lmk_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/lmk_common.dir/common/table.cpp.o"
+  "CMakeFiles/lmk_common.dir/common/table.cpp.o.d"
+  "liblmk_common.a"
+  "liblmk_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmk_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

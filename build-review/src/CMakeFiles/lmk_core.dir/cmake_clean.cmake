@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmk_core.dir/core/index_platform.cpp.o"
+  "CMakeFiles/lmk_core.dir/core/index_platform.cpp.o.d"
+  "liblmk_core.a"
+  "liblmk_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmk_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmk_eval.dir/eval/ground_truth.cpp.o"
+  "CMakeFiles/lmk_eval.dir/eval/ground_truth.cpp.o.d"
+  "CMakeFiles/lmk_eval.dir/eval/metrics.cpp.o"
+  "CMakeFiles/lmk_eval.dir/eval/metrics.cpp.o.d"
+  "liblmk_eval.a"
+  "liblmk_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmk_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

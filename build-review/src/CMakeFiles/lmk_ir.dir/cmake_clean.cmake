@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmk_ir.dir/ir/expansion.cpp.o"
+  "CMakeFiles/lmk_ir.dir/ir/expansion.cpp.o.d"
+  "liblmk_ir.a"
+  "liblmk_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmk_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmk_landmark.dir/landmark/selection.cpp.o"
+  "CMakeFiles/lmk_landmark.dir/landmark/selection.cpp.o.d"
+  "liblmk_landmark.a"
+  "liblmk_landmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmk_landmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmk_lph.dir/lph/lph.cpp.o"
+  "CMakeFiles/lmk_lph.dir/lph/lph.cpp.o.d"
+  "liblmk_lph.a"
+  "liblmk_lph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmk_lph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metric/edit_distance.cpp" "src/CMakeFiles/lmk_metric.dir/metric/edit_distance.cpp.o" "gcc" "src/CMakeFiles/lmk_metric.dir/metric/edit_distance.cpp.o.d"
+  "/root/repo/src/metric/hausdorff.cpp" "src/CMakeFiles/lmk_metric.dir/metric/hausdorff.cpp.o" "gcc" "src/CMakeFiles/lmk_metric.dir/metric/hausdorff.cpp.o.d"
+  "/root/repo/src/metric/jaccard.cpp" "src/CMakeFiles/lmk_metric.dir/metric/jaccard.cpp.o" "gcc" "src/CMakeFiles/lmk_metric.dir/metric/jaccard.cpp.o.d"
+  "/root/repo/src/metric/sparse_vector.cpp" "src/CMakeFiles/lmk_metric.dir/metric/sparse_vector.cpp.o" "gcc" "src/CMakeFiles/lmk_metric.dir/metric/sparse_vector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/lmk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

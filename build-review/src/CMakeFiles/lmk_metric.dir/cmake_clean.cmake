@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmk_metric.dir/metric/edit_distance.cpp.o"
+  "CMakeFiles/lmk_metric.dir/metric/edit_distance.cpp.o.d"
+  "CMakeFiles/lmk_metric.dir/metric/hausdorff.cpp.o"
+  "CMakeFiles/lmk_metric.dir/metric/hausdorff.cpp.o.d"
+  "CMakeFiles/lmk_metric.dir/metric/jaccard.cpp.o"
+  "CMakeFiles/lmk_metric.dir/metric/jaccard.cpp.o.d"
+  "CMakeFiles/lmk_metric.dir/metric/sparse_vector.cpp.o"
+  "CMakeFiles/lmk_metric.dir/metric/sparse_vector.cpp.o.d"
+  "liblmk_metric.a"
+  "liblmk_metric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmk_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmk_net.dir/net/king_loader.cpp.o"
+  "CMakeFiles/lmk_net.dir/net/king_loader.cpp.o.d"
+  "CMakeFiles/lmk_net.dir/net/latency_model.cpp.o"
+  "CMakeFiles/lmk_net.dir/net/latency_model.cpp.o.d"
+  "liblmk_net.a"
+  "liblmk_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmk_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmk_routing.dir/routing/naive.cpp.o"
+  "CMakeFiles/lmk_routing.dir/routing/naive.cpp.o.d"
+  "CMakeFiles/lmk_routing.dir/routing/query.cpp.o"
+  "CMakeFiles/lmk_routing.dir/routing/query.cpp.o.d"
+  "CMakeFiles/lmk_routing.dir/routing/router.cpp.o"
+  "CMakeFiles/lmk_routing.dir/routing/router.cpp.o.d"
+  "liblmk_routing.a"
+  "liblmk_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmk_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

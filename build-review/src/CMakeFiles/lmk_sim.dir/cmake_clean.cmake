@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmk_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/lmk_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/lmk_sim.dir/sim/network.cpp.o"
+  "CMakeFiles/lmk_sim.dir/sim/network.cpp.o.d"
+  "CMakeFiles/lmk_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/lmk_sim.dir/sim/simulator.cpp.o.d"
+  "liblmk_sim.a"
+  "liblmk_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmk_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

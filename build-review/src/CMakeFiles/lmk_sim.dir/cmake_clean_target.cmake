@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblmk_sim.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmk_workload.dir/workload/corpus.cpp.o"
+  "CMakeFiles/lmk_workload.dir/workload/corpus.cpp.o.d"
+  "CMakeFiles/lmk_workload.dir/workload/synthetic.cpp.o"
+  "CMakeFiles/lmk_workload.dir/workload/synthetic.cpp.o.d"
+  "liblmk_workload.a"
+  "liblmk_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmk_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

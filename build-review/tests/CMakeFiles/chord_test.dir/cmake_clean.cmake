@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chord_test.dir/chord_test.cpp.o"
+  "CMakeFiles/chord_test.dir/chord_test.cpp.o.d"
+  "chord_test"
+  "chord_test.pdb"
+  "chord_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chord_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lph_test.dir/lph_test.cpp.o"
+  "CMakeFiles/lph_test.dir/lph_test.cpp.o.d"
+  "lph_test"
+  "lph_test.pdb"
+  "lph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

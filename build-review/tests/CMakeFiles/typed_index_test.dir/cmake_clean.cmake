@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typed_index_test.dir/typed_index_test.cpp.o"
+  "CMakeFiles/typed_index_test.dir/typed_index_test.cpp.o.d"
+  "typed_index_test"
+  "typed_index_test.pdb"
+  "typed_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typed_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

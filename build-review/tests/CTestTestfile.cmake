@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/common_test[1]_include.cmake")
+include("/root/repo/build-review/tests/parallel_test[1]_include.cmake")
+include("/root/repo/build-review/tests/metric_test[1]_include.cmake")
+include("/root/repo/build-review/tests/lph_test[1]_include.cmake")
+include("/root/repo/build-review/tests/sim_test[1]_include.cmake")
+include("/root/repo/build-review/tests/chord_test[1]_include.cmake")
+include("/root/repo/build-review/tests/routing_test[1]_include.cmake")
+include("/root/repo/build-review/tests/landmark_test[1]_include.cmake")
+include("/root/repo/build-review/tests/balance_test[1]_include.cmake")
+include("/root/repo/build-review/tests/workload_test[1]_include.cmake")
+include("/root/repo/build-review/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-review/tests/platform_test[1]_include.cmake")
+include("/root/repo/build-review/tests/typed_index_test[1]_include.cmake")
+include("/root/repo/build-review/tests/churn_test[1]_include.cmake")
+include("/root/repo/build-review/tests/eval_test[1]_include.cmake")
+include("/root/repo/build-review/tests/property_test[1]_include.cmake")
+include("/root/repo/build-review/tests/replication_test[1]_include.cmake")
