@@ -80,11 +80,11 @@ int main() {
         if (feedback.size() >= 5) break;
         feedback.push_back(docs[id]);
       }
-      RocchioOptions ropts;
-      ropts.beta = 1.5;           // strong feedback: the raw query is tiny
-      ropts.expansion_terms = 25;
+      RocchioOptions rocchio;
+      rocchio.beta = 1.5;         // strong feedback: the raw query is tiny
+      rocchio.expansion_terms = 25;
       SparseVector expanded = rocchio_expand(
-          q, std::span<const SparseVector>(feedback), ropts);
+          q, std::span<const SparseVector>(feedback), rocchio);
       std::optional<IndexPlatform::QueryOutcome> round2;
       index.range_query(*origin, expanded, radius, ReplyMode::kTopK,
                         [&](const auto& o) { round2 = o; });

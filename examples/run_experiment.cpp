@@ -1,8 +1,8 @@
 // Command-line experiment runner: a configurable version of the figure
 // benches for custom sweeps, e.g.
 //
-//   run_experiment --nodes 512 --objects 20000 --queries 300 \
-//                  --selection kmeans --landmarks 10 --balance \
+//   run_experiment --nodes 512 --objects 20000 --queries 300
+//                  --selection kmeans --landmarks 10 --balance
 //                  --factors 0.01,0.05,0.1 [--naive] [--rotate] [--csv]
 //
 // Prints the §4.1 metrics per range factor (or CSV with --csv).

@@ -1,35 +1,64 @@
 #!/usr/bin/env bash
-# Build + tier-1 test smoke script, with optional sanitizer
-# instrumentation for the offline threading code.
+# Correctness gate for the simulator core (see DESIGN.md "Correctness
+# tooling").
 #
 # Usage:
-#   scripts/check.sh                    # plain RelWithDebInfo build + ctest
+#   scripts/check.sh                    # one build + ctest (RelWithDebInfo)
 #   LMK_SANITIZE=address scripts/check.sh
 #   LMK_SANITIZE=undefined scripts/check.sh
 #   LMK_SANITIZE=thread scripts/check.sh
+#   scripts/check.sh --all              # the full gate:
+#                                       #   1. lmk-lint over src/
+#                                       #   2. clang-tidy (scripts/tidy.sh)
+#                                       #   3. plain build (-Werror) + ctest
+#                                       #   4. ASan, UBSan, TSan builds + ctest
 #
-# Each sanitizer gets its own build directory (build-check-<san>) so
+# Every build is -Werror for src/ and tools/ (LMK_WERROR=ON). Each
+# sanitizer gets its own build directory (build-check-<san>) so
 # instrumented and plain builds never mix objects.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-SAN="${LMK_SANITIZE:-}"
-if [ -n "$SAN" ]; then
-  BUILD_DIR="build-check-${SAN}"
-  CMAKE_ARGS=(-DLMK_SANITIZE="${SAN}")
-else
-  BUILD_DIR="build-check"
-  CMAKE_ARGS=()
+# Exercise the thread pool with a wide pool even on small CI machines.
+export LMK_THREADS="${LMK_THREADS:-8}"
+
+run_leg() {
+  local san="$1"
+  local build_dir cmake_args
+  if [ -n "$san" ]; then
+    build_dir="build-check-${san}"
+    cmake_args=(-DLMK_SANITIZE="${san}")
+  else
+    build_dir="build-check"
+    cmake_args=()
+  fi
+  echo "== check.sh: leg '${san:-plain}' (${build_dir}) =="
+  cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DLMK_WERROR=ON "${cmake_args[@]}"
+  cmake --build "$build_dir" -j"$(nproc)"
+  ctest --test-dir "$build_dir" --output-on-failure -j"$(nproc)"
+}
+
+run_lint() {
+  echo "== check.sh: lmk-lint =="
+  cmake -B build-check -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DLMK_WERROR=ON >/dev/null
+  cmake --build build-check -j"$(nproc)" --target lmk-lint >/dev/null
+  ./build-check/tools/lint/lmk-lint src
+}
+
+if [ "${1:-}" = "--all" ]; then
+  run_lint
+  BUILD_DIR=build-check scripts/tidy.sh
+  run_leg ""
+  for san in address undefined thread; do
+    run_leg "$san"
+  done
+  echo "check.sh: OK (--all: lint + tidy + plain + asan/ubsan/tsan," \
+       "LMK_THREADS=$LMK_THREADS)"
+  exit 0
 fi
 
-cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  "${CMAKE_ARGS[@]}"
-cmake --build "$BUILD_DIR" -j"$(nproc)"
-
-# Exercise the thread pool under the sanitizer with a wide pool even on
-# small CI machines.
-export LMK_THREADS="${LMK_THREADS:-8}"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
-
-echo "check.sh: OK (${SAN:-no sanitizer}, LMK_THREADS=$LMK_THREADS)"
+run_leg "${LMK_SANITIZE:-}"
+echo "check.sh: OK (${LMK_SANITIZE:-no sanitizer}, LMK_THREADS=$LMK_THREADS)"

@@ -180,6 +180,8 @@ void IndexPlatform::remove_via_network(
 
 void IndexPlatform::clear_scheme(std::uint32_t scheme_id) {
   LMK_CHECK(scheme_id < schemes_.size());
+  // Every store is cleared unconditionally; order cannot matter.
+  // lmk-lint: iteration-order-independent
   for (auto& [node, store] : stores_) {
     if (scheme_id < store.per_scheme.size()) {
       store.per_scheme[scheme_id].clear();
@@ -189,6 +191,8 @@ void IndexPlatform::clear_scheme(std::uint32_t scheme_id) {
 
 std::size_t IndexPlatform::scheme_entries(std::uint32_t scheme_id) const {
   std::size_t total = 0;
+  // Integer sum over disjoint stores: commutative, order-free.
+  // lmk-lint: iteration-order-independent
   for (const auto& [node, store] : stores_) {
     if (!node->alive()) continue;  // crashed copies are lost
     if (scheme_id < store.per_scheme.size()) {
@@ -200,6 +204,8 @@ std::size_t IndexPlatform::scheme_entries(std::uint32_t scheme_id) const {
 
 std::size_t IndexPlatform::total_entries() const {
   std::size_t total = 0;
+  // Integer sum over disjoint stores: commutative, order-free.
+  // lmk-lint: iteration-order-independent
   for (const auto& [node, store] : stores_) {
     if (!node->alive()) continue;  // crashed copies are lost
     for (const auto& vec : store.per_scheme) total += vec.size();
@@ -503,6 +509,8 @@ const std::vector<IndexEntry>& IndexPlatform::store(const ChordNode& n,
 }
 
 void IndexPlatform::check_placement_invariant() const {
+  // Pure assertion sweep: every entry is checked, nothing accumulated.
+  // lmk-lint: iteration-order-independent
   for (const auto& [node, store] : stores_) {
     // Dead nodes are skipped: graceful leavers drained to empty, and a
     // crashed node's copies are simply lost (wiped by the next repair).
@@ -535,7 +543,27 @@ void IndexPlatform::repair_replication() {
   std::vector<std::vector<Logical>> per_scheme(schemes_.size());
   std::vector<std::unordered_map<std::uint64_t, std::unordered_set<Id>>>
       seen(schemes_.size());
+  // The sweep order decides which replica's copy survives dedup and in
+  // what order the rebuilt stores are filled — iterating the
+  // pointer-keyed hash map directly would tie both to allocation
+  // addresses (ASLR), breaking run-to-run determinism. Sweep in node-id
+  // order instead.
+  std::vector<std::pair<const ChordNode*, NodeStore*>> sweep;
+  sweep.reserve(stores_.size());
+  // Collection into the sorted sweep list is order-free.
+  // lmk-lint: iteration-order-independent
   for (auto& [node, store] : stores_) {
+    sweep.emplace_back(node, &store);
+  }
+  std::sort(sweep.begin(), sweep.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first->id() != b.first->id()) {
+                return a.first->id() < b.first->id();
+              }
+              return a.first->host() < b.first->host();
+            });
+  for (auto& [node, store_ptr] : sweep) {
+    NodeStore& store = *store_ptr;
     bool dead = !node->alive();
     for (std::size_t sc = 0; sc < store.per_scheme.size(); ++sc) {
       if (!dead) {

@@ -65,8 +65,13 @@ Corpus::Corpus(const CorpusConfig& cfg, Rng& rng)
       ++attempts;
       terms.insert(draw_term(topic, story, rng));
     }
-    raw[d].reserve(terms.size());
-    for (std::uint32_t t : terms) {
+    // Sorted term order: each term costs one draw_tf() rng draw, so the
+    // draw order (and with it every downstream value) must not depend on
+    // the unordered_set's implementation-defined iteration order.
+    std::vector<std::uint32_t> doc_terms(terms.begin(), terms.end());
+    std::sort(doc_terms.begin(), doc_terms.end());
+    raw[d].reserve(doc_terms.size());
+    for (std::uint32_t t : doc_terms) {
       raw[d].push_back(SparseEntry{t, static_cast<double>(draw_tf(rng))});
       ++df[t];
     }
@@ -76,6 +81,9 @@ Corpus::Corpus(const CorpusConfig& cfg, Rng& rng)
   // IDF = ln(N / df) — terms in every document get weight 0 and drop out.
   idf_.assign(cfg.vocabulary, 0.0);
   auto n_docs = static_cast<double>(cfg.documents);
+  // Each term writes its own idf_ slot exactly once; no draw, sum or
+  // output depends on the visit order.
+  // lmk-lint: iteration-order-independent
   for (const auto& [term, count] : df) {
     idf_[term] = std::log(n_docs / static_cast<double>(count));
   }
@@ -148,9 +156,14 @@ std::vector<SparseVector> Corpus::make_queries(std::size_t count,
       // any document and would just dilute the query vector.
       if (idf_[t] > 0.0) terms.insert(t);
     }
+    // Sorted order: the entries feed an ordered output (the query
+    // vector); SparseVector re-sorts, but the lint rule wants the
+    // source order deterministic too, and sorting here is free.
+    std::vector<std::uint32_t> query_terms(terms.begin(), terms.end());
+    std::sort(query_terms.begin(), query_terms.end());
     std::vector<SparseEntry> entries;
-    entries.reserve(terms.size());
-    for (std::uint32_t t : terms) {
+    entries.reserve(query_terms.size());
+    for (std::uint32_t t : query_terms) {
       double w = idf_[t] > 0.0 ? idf_[t] : std::log(n_docs);
       entries.push_back(SparseEntry{t, w});
     }

@@ -72,10 +72,8 @@ TEST(EndToEnd, ResponseTimesAreNetworkScale) {
   ExperimentConfig ecfg;
   ecfg.nodes = 64;
   ecfg.seed = 2;
-  SimilarityExperiment<L2Space> exp(ecfg, f.data.points.size() > 0 ? f.space
-                                                                   : f.space,
-                                    f.data.points, f.make_mapper(5, true),
-                                    "e2e-latency");
+  SimilarityExperiment<L2Space> exp(ecfg, f.space, f.data.points,
+                                    f.make_mapper(5, true), "e2e-latency");
   exp.set_queries(f.queries);
   QueryStats stats = exp.run_batch(0.05 * f.max_dist);
   // Mean RTT is 180 ms; a routed query + reply should land in the

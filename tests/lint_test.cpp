@@ -1,0 +1,263 @@
+// Unit tests for the lmk-lint rule matchers (tools/lint) on fixture
+// snippets: the determinism rules that gate the simulator core must
+// themselves be pinned by tests, or a matcher regression would silently
+// turn the gate off.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "lint_rules.hpp"
+
+namespace lmk::lint {
+namespace {
+
+std::vector<std::string> rules_of(const std::vector<Finding>& fs) {
+  std::vector<std::string> out;
+  out.reserve(fs.size());
+  for (const auto& f : fs) out.push_back(f.rule);
+  return out;
+}
+
+bool has_rule(const std::vector<Finding>& fs, std::string_view rule) {
+  return std::any_of(fs.begin(), fs.end(),
+                     [rule](const Finding& f) { return f.rule == rule; });
+}
+
+// ----- banned-source -----
+
+TEST(BannedSource, FlagsRandomDevice) {
+  auto fs = lint_source("a.cpp", "int x = std::random_device{}();\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "banned-source");
+  EXPECT_EQ(fs[0].line, 1);
+}
+
+TEST(BannedSource, FlagsWallClocks) {
+  EXPECT_TRUE(has_rule(
+      lint_source("a.cpp", "auto t = std::chrono::steady_clock::now();\n"),
+      "banned-source"));
+  EXPECT_TRUE(has_rule(
+      lint_source("a.cpp", "auto t = std::chrono::system_clock::now();\n"),
+      "banned-source"));
+  EXPECT_TRUE(has_rule(
+      lint_source("a.cpp",
+                  "auto t = std::chrono::high_resolution_clock::now();\n"),
+      "banned-source"));
+}
+
+TEST(BannedSource, FlagsCStyleCalls) {
+  EXPECT_TRUE(has_rule(lint_source("a.cpp", "seed = time(nullptr);\n"),
+                       "banned-source"));
+  EXPECT_TRUE(has_rule(lint_source("a.cpp", "int r = rand();\n"),
+                       "banned-source"));
+  EXPECT_TRUE(has_rule(lint_source("a.cpp", "srand(42);\n"),
+                       "banned-source"));
+}
+
+TEST(BannedSource, FlagsUnportableEngines) {
+  EXPECT_TRUE(has_rule(lint_source("a.cpp", "std::mt19937 gen(seed);\n"),
+                       "banned-source"));
+  EXPECT_TRUE(has_rule(
+      lint_source("a.cpp", "std::default_random_engine e;\n"),
+      "banned-source"));
+}
+
+TEST(BannedSource, NoFalsePositiveOnSimilarIdentifiers) {
+  // response_time( and SimTime are not time() calls; a member .time()
+  // belongs to whatever object defines it, not the C library.
+  auto fs = lint_source(
+      "a.cpp",
+      "SimTime response_time(int x);\n"
+      "auto v = stats.response_time(3);\n"
+      "double t = obj.time();\n"
+      "int runtime = 0; (void)runtime;\n");
+  EXPECT_TRUE(fs.empty()) << fs.size() << " findings, first: "
+                          << (fs.empty() ? "" : fs[0].message);
+}
+
+TEST(BannedSource, IgnoresCommentsAndStrings) {
+  auto fs = lint_source(
+      "a.cpp",
+      "// calling time() here would be wrong\n"
+      "const char* s = \"std::random_device\";\n"
+      "/* steady_clock in a block comment */\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(BannedSource, RngModuleIsExempt) {
+  FileOptions opts;
+  opts.rng_module = true;
+  auto fs = lint_source("src/common/rng.cpp",
+                        "std::random_device rd;\n", opts);
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(BannedSource, BenchMayReadWallClocksButNotEntropy) {
+  FileOptions opts;
+  opts.bench = true;
+  EXPECT_TRUE(lint_source("bench/bench_perf.cpp",
+                          "auto t0 = std::chrono::steady_clock::now();\n",
+                          opts)
+                  .empty());
+  EXPECT_TRUE(has_rule(lint_source("bench/bench_perf.cpp",
+                                   "std::random_device rd;\n", opts),
+                       "banned-source"));
+}
+
+TEST(BannedSource, AllowCommentSuppresses) {
+  auto fs = lint_source(
+      "a.cpp",
+      "// lmk-lint: allow(banned-source) startup banner only\n"
+      "auto t = std::chrono::system_clock::now();\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+// ----- unordered-iteration -----
+
+TEST(UnorderedIteration, FlagsRangeForOverUnorderedMap) {
+  auto fs = lint_source(
+      "a.cpp",
+      "std::unordered_map<int, double> acc;\n"
+      "double total = 0;\n"
+      "for (const auto& [k, v] : acc) total += v;\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "unordered-iteration");
+  EXPECT_EQ(fs[0].line, 3);
+}
+
+TEST(UnorderedIteration, FlagsRangeForOverUnorderedSet) {
+  auto fs = lint_source("a.cpp",
+                        "std::unordered_set<std::uint32_t> terms;\n"
+                        "for (std::uint32_t t : terms) use(t);\n");
+  EXPECT_EQ(rules_of(fs),
+            std::vector<std::string>{"unordered-iteration"});
+}
+
+TEST(UnorderedIteration, FlagsIteratorWalk) {
+  auto fs = lint_source(
+      "a.cpp",
+      "std::unordered_map<int, int> m;\n"
+      "for (auto it = m.begin(); it != m.end(); ++it) emit(*it);\n");
+  EXPECT_EQ(rules_of(fs),
+            std::vector<std::string>{"unordered-iteration"});
+}
+
+TEST(UnorderedIteration, MultiLineDeclarationAndLoop) {
+  auto fs = lint_source(
+      "a.cpp",
+      "std::unordered_map<std::uint64_t,\n"
+      "                   std::unordered_map<const Node*, Reply>>\n"
+      "    pending_;\n"
+      "for (auto& [qid, replies] :\n"
+      "     pending_) {\n"
+      "  flush(qid);\n"
+      "}\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].line, 4);
+}
+
+TEST(UnorderedIteration, JustificationCommentSuppresses) {
+  auto fs = lint_source(
+      "a.cpp",
+      "std::unordered_map<int, double> acc;\n"
+      "// lmk-lint: iteration-order-independent\n"
+      "for (const auto& [k, v] : acc) check(v);\n");
+  EXPECT_TRUE(fs.empty());
+  fs = lint_source(
+      "a.cpp",
+      "std::unordered_set<int> s;\n"
+      "for (int v : s) check(v);  // lmk-lint: iteration-order-independent\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(UnorderedIteration, OrderedContainersAreFine) {
+  auto fs = lint_source("a.cpp",
+                        "std::map<int, double> acc;\n"
+                        "std::vector<int> v;\n"
+                        "for (const auto& [k, x] : acc) out(k, x);\n"
+                        "for (int i : v) out2(i);\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(UnorderedIteration, MembershipTestsAreFine) {
+  auto fs = lint_source("a.cpp",
+                        "std::unordered_set<int> seen;\n"
+                        "if (seen.count(3) != 0) return;\n"
+                        "seen.insert(4);\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(UnorderedIteration, CompanionHeaderDeclarationsAreSeen) {
+  FileOptions opts;
+  opts.companion_decls =
+      "class P {\n"
+      "  std::unordered_map<const Node*, Store> stores_;\n"
+      "};\n";
+  auto fs = lint_source("p.cpp",
+                        "void P::sweep() {\n"
+                        "  for (auto& [n, s] : stores_) visit(s);\n"
+                        "}\n",
+                        opts);
+  EXPECT_EQ(rules_of(fs),
+            std::vector<std::string>{"unordered-iteration"});
+}
+
+// ----- pointer-key -----
+
+TEST(PointerKey, FlagsPointerKeyedOrderedContainers) {
+  EXPECT_TRUE(has_rule(
+      lint_source("a.cpp", "std::map<Node*, int> by_node;\n"),
+      "pointer-key"));
+  EXPECT_TRUE(has_rule(
+      lint_source("a.cpp", "std::set<const ChordNode*> probes;\n"),
+      "pointer-key"));
+}
+
+TEST(PointerKey, PointerValuesAreFine) {
+  EXPECT_TRUE(lint_source("a.cpp",
+                          "std::map<std::uint64_t, Node*> owner_of;\n")
+                  .empty());
+}
+
+TEST(PointerKey, AllowCommentSuppresses) {
+  auto fs = lint_source(
+      "a.cpp",
+      "// lmk-lint: allow(pointer-key) diagnostic dump, order not output\n"
+      "std::set<Node*> dump;\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+// ----- infrastructure -----
+
+TEST(Strip, PreservesLayoutAndNewlines) {
+  std::string src = "int a; // c1\n\"str\\\"ing\"\n/* b\nb */ int c;\n";
+  std::string out = strip_comments_and_strings(src);
+  EXPECT_EQ(out.size(), src.size());
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'),
+            std::count(src.begin(), src.end(), '\n'));
+  EXPECT_EQ(out.find("c1"), std::string::npos);
+  EXPECT_EQ(out.find("str"), std::string::npos);
+  EXPECT_NE(out.find("int c;"), std::string::npos);
+}
+
+TEST(Strip, DigitSeparatorIsNotACharLiteral) {
+  std::string out = strip_comments_and_strings("int x = 1'000'000; f(x);\n");
+  EXPECT_NE(out.find("f(x);"), std::string::npos);
+}
+
+TEST(CollectVars, FindsLocalsMembersAndInitializers) {
+  std::string stripped =
+      "std::unordered_map<int, V> a;\n"
+      "std::unordered_set<K> b = make();\n"
+      "std::unordered_map<K, std::vector<V>> c{};\n"
+      "using Alias = std::unordered_map<int, int>;\n";
+  auto vars = collect_unordered_vars(stripped);
+  EXPECT_NE(std::find(vars.begin(), vars.end(), "a"), vars.end());
+  EXPECT_NE(std::find(vars.begin(), vars.end(), "b"), vars.end());
+  EXPECT_NE(std::find(vars.begin(), vars.end(), "c"), vars.end());
+  EXPECT_EQ(std::find(vars.begin(), vars.end(), "Alias"), vars.end());
+}
+
+}  // namespace
+}  // namespace lmk::lint

@@ -129,8 +129,8 @@ INSTANTIATE_TEST_SUITE_P(
                       Params{8, 2, false, RoutingMode::kNaive},
                       Params{64, 3, false, RoutingMode::kNaive},
                       Params{64, 3, true, RoutingMode::kNaive}),
-    [](const ::testing::TestParamInfo<Params>& info) {
-      const Params& p = info.param;
+    [](const ::testing::TestParamInfo<Params>& param_info) {
+      const Params& p = param_info.param;
       std::string name = std::to_string(p.nodes) + "nodes_" +
                          std::to_string(p.dims) + "d";
       if (p.rotate) name += "_rot";

@@ -129,7 +129,9 @@ TEST(DelaySpace, SymmetricAndPositive) {
   for (HostId a = 0; a < 50; ++a) {
     for (HostId b = 0; b < 50; ++b) {
       EXPECT_EQ(m.latency(a, b), m.latency(b, a));
-      if (a != b) EXPECT_GT(m.latency(a, b), 0);
+      if (a != b) {
+        EXPECT_GT(m.latency(a, b), 0);
+      }
     }
   }
 }

@@ -1,0 +1,427 @@
+#include "lint_rules.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace lmk::lint {
+
+namespace {
+
+[[nodiscard]] bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// 1-based line number of byte offset `pos`.
+[[nodiscard]] int line_of(std::string_view text, std::size_t pos) {
+  return 1 + static_cast<int>(
+                 std::count(text.begin(),
+                            text.begin() + static_cast<std::ptrdiff_t>(pos),
+                            '\n'));
+}
+
+[[nodiscard]] std::size_t skip_ws(std::string_view s, std::size_t i) {
+  while (i < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[i])) != 0) {
+    ++i;
+  }
+  return i;
+}
+
+/// The line (1-based) each raw-text suppression comment covers: the
+/// comment's own line and the next, so it can sit above the flagged
+/// statement or trail it.
+struct Suppressions {
+  std::vector<int> iteration_ok;              // iteration-order-independent
+  std::vector<std::pair<int, std::string>> allow;  // allow(<rule>)
+};
+
+[[nodiscard]] Suppressions collect_suppressions(std::string_view raw) {
+  Suppressions out;
+  static constexpr std::string_view kTag = "lmk-lint:";
+  std::size_t pos = 0;
+  while ((pos = raw.find(kTag, pos)) != std::string_view::npos) {
+    std::size_t after = skip_ws(raw, pos + kTag.size());
+    int line = line_of(raw, pos);
+    static constexpr std::string_view kIter = "iteration-order-independent";
+    static constexpr std::string_view kAllow = "allow(";
+    if (raw.compare(after, kIter.size(), kIter) == 0) {
+      out.iteration_ok.push_back(line);
+    } else if (raw.compare(after, kAllow.size(), kAllow) == 0) {
+      std::size_t start = after + kAllow.size();
+      std::size_t close = raw.find(')', start);
+      if (close != std::string_view::npos) {
+        out.allow.emplace_back(line,
+                               std::string(raw.substr(start, close - start)));
+      }
+    }
+    pos = after;
+  }
+  return out;
+}
+
+[[nodiscard]] bool iteration_suppressed(const Suppressions& sup, int line) {
+  return std::any_of(sup.iteration_ok.begin(), sup.iteration_ok.end(),
+                     [line](int l) { return l == line || l + 1 == line; });
+}
+
+[[nodiscard]] bool allowed(const Suppressions& sup, int line,
+                           std::string_view rule) {
+  return std::any_of(sup.allow.begin(), sup.allow.end(),
+                     [line, rule](const auto& a) {
+                       return (a.first == line || a.first + 1 == line) &&
+                              a.second == rule;
+                     });
+}
+
+/// Find `token` as a whole identifier (no identifier char on either
+/// side), starting at `from`. npos when absent.
+[[nodiscard]] std::size_t find_token(std::string_view text,
+                                     std::string_view token,
+                                     std::size_t from) {
+  std::size_t pos = from;
+  while ((pos = text.find(token, pos)) != std::string_view::npos) {
+    bool left_ok = pos == 0 || !is_ident_char(text[pos - 1]);
+    std::size_t end = pos + token.size();
+    bool right_ok = end >= text.size() || !is_ident_char(text[end]);
+    if (left_ok && right_ok) return pos;
+    pos = end;
+  }
+  return std::string_view::npos;
+}
+
+/// Skip a balanced <...> starting at the '<' at `i`; returns the index
+/// one past the matching '>'. npos when unbalanced.
+[[nodiscard]] std::size_t skip_angles(std::string_view s, std::size_t i) {
+  int depth = 0;
+  for (; i < s.size(); ++i) {
+    if (s[i] == '<') {
+      ++depth;
+    } else if (s[i] == '>') {
+      if (--depth == 0) return i + 1;
+    } else if (s[i] == ';' || s[i] == '{') {
+      break;  // a declaration never crosses these at angle depth > 0
+    }
+  }
+  return std::string_view::npos;
+}
+
+[[nodiscard]] std::string_view trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+/// True when `expr` (a trimmed range expression) iterates variable
+/// `var` directly: `var`, `var.begin()`, or `var.cbegin()`.
+[[nodiscard]] bool iterates_var(std::string_view expr, std::string_view var) {
+  if (expr == var) return true;
+  if (expr.substr(0, var.size()) != var) return false;
+  std::string_view rest = expr.substr(var.size());
+  return rest == ".begin()" || rest == ".cbegin()";
+}
+
+}  // namespace
+
+std::string strip_comments_and_strings(std::string_view src) {
+  std::string out(src);
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State st = State::kCode;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    char c = src[i];
+    char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (st) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          st = State::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          st = State::kBlockComment;
+          out[i] = ' ';
+        } else if (c == '"') {
+          st = State::kString;
+          out[i] = ' ';
+        } else if (c == '\'' && (i == 0 || !is_ident_char(src[i - 1]))) {
+          // Identifier-adjacent quotes are digit separators (1'000'000).
+          st = State::kChar;
+          out[i] = ' ';
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          st = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          st = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        char quote = st == State::kString ? '"' : '\'';
+        if (c == '\\' && i + 1 < src.size()) {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == quote) {
+          out[i] = ' ';
+          st = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> collect_unordered_vars(std::string_view stripped) {
+  std::vector<std::string> vars;
+  for (std::string_view kw : {"unordered_map", "unordered_set"}) {
+    std::size_t pos = 0;
+    while ((pos = find_token(stripped, kw, pos)) != std::string_view::npos) {
+      std::size_t i = skip_ws(stripped, pos + kw.size());
+      pos += kw.size();
+      if (i >= stripped.size() || stripped[i] != '<') continue;
+      i = skip_angles(stripped, i);
+      if (i == std::string_view::npos) continue;
+      i = skip_ws(stripped, i);
+      // Optional ref/pointer declarator.
+      while (i < stripped.size() &&
+             (stripped[i] == '&' || stripped[i] == '*')) {
+        i = skip_ws(stripped, i + 1);
+      }
+      std::size_t start = i;
+      while (i < stripped.size() && is_ident_char(stripped[i])) ++i;
+      if (i == start) continue;  // e.g. `using X = unordered_map<...>;`
+      std::string name(stripped.substr(start, i - start));
+      i = skip_ws(stripped, i);
+      // A declaration introduces the name before ; = { ( — anything
+      // else (e.g. `unordered_map<K, V> const&` in a cast) is skipped.
+      if (i < stripped.size() && (stripped[i] == ';' || stripped[i] == '=' ||
+                                  stripped[i] == '{' || stripped[i] == '(')) {
+        if (std::find(vars.begin(), vars.end(), name) == vars.end()) {
+          vars.push_back(name);
+        }
+      }
+    }
+  }
+  return vars;
+}
+
+std::vector<Finding> lint_source(std::string_view path,
+                                 std::string_view content,
+                                 const FileOptions& opts) {
+  std::vector<Finding> findings;
+  const std::string stripped_storage = strip_comments_and_strings(content);
+  const std::string_view stripped = stripped_storage;
+  const Suppressions sup = collect_suppressions(content);
+
+  auto report = [&](std::size_t pos, std::string_view rule,
+                    std::string message) {
+    int line = line_of(stripped, pos);
+    if (allowed(sup, line, rule)) return;
+    findings.push_back(
+        Finding{std::string(path), line, std::string(rule), std::move(message)});
+  };
+
+  // --- banned-source: wall clocks and environment-seeded randomness ---
+  if (!opts.rng_module) {
+    // Tokens banned anywhere they appear.
+    static constexpr std::array<std::string_view, 12> kPlain = {
+        "random_device", "system_clock", "steady_clock",
+        "high_resolution_clock", "clock_gettime", "gettimeofday",
+        "timespec_get", "mt19937", "mt19937_64", "minstd_rand",
+        "default_random_engine", "getrandom"};
+    for (std::string_view tok : kPlain) {
+      // Wall clocks are fine in the bench harness (throughput timing);
+      // unseeded RNG sources are banned even there.
+      bool clock_token = tok.find("clock") != std::string_view::npos ||
+                         tok == "gettimeofday" || tok == "timespec_get";
+      if (opts.bench && clock_token) continue;
+      std::size_t pos = 0;
+      while ((pos = find_token(stripped, tok, pos)) !=
+             std::string_view::npos) {
+        report(pos, "banned-source",
+               "'" + std::string(tok) +
+                   "' is a nondeterministic source; all randomness/time "
+                   "must flow from the seeded lmk::Rng / the simulator "
+                   "clock (src/common/rng)");
+        pos += tok.size();
+      }
+    }
+    // Tokens banned only as calls: name followed by '('.
+    static constexpr std::array<std::string_view, 5> kCalls = {
+        "rand", "srand", "time", "localtime", "gmtime"};
+    for (std::string_view tok : kCalls) {
+      if (opts.bench && tok == "time") continue;
+      std::size_t pos = 0;
+      while ((pos = find_token(stripped, tok, pos)) !=
+             std::string_view::npos) {
+        std::size_t after = skip_ws(stripped, pos + tok.size());
+        bool member = pos >= 1 && (stripped[pos - 1] == '.' ||
+                                   (pos >= 2 && stripped[pos - 2] == '-' &&
+                                    stripped[pos - 1] == '>'));
+        if (!member && after < stripped.size() && stripped[after] == '(') {
+          report(pos, "banned-source",
+                 "call to '" + std::string(tok) +
+                     "()' reads wall-clock/global state; use the seeded "
+                     "lmk::Rng or Simulator::now() instead");
+        }
+        pos += tok.size();
+      }
+    }
+  }
+
+  // --- pointer-key: pointer-keyed ordered containers ---
+  for (std::string_view kw : {"map", "set"}) {
+    std::size_t pos = 0;
+    while ((pos = find_token(stripped, kw, pos)) != std::string_view::npos) {
+      std::size_t tok_pos = pos;
+      pos += kw.size();
+      // Require the std:: qualifier so set(), bitset members etc. are
+      // not misread.
+      if (tok_pos < 5 || stripped.substr(tok_pos - 5, 5) != "std::") continue;
+      std::size_t i = skip_ws(stripped, tok_pos + kw.size());
+      if (i >= stripped.size() || stripped[i] != '<') continue;
+      // First template argument: up to a top-level ',' or '>'.
+      int depth = 1;
+      std::size_t arg_begin = ++i;
+      while (i < stripped.size() && depth > 0) {
+        char c = stripped[i];
+        if (c == '<') {
+          ++depth;
+        } else if (c == '>') {
+          --depth;
+        } else if (c == ',' && depth == 1) {
+          break;
+        }
+        ++i;
+      }
+      std::string_view first_arg =
+          trim(stripped.substr(arg_begin, i - arg_begin));
+      if (first_arg.find('*') != std::string_view::npos) {
+        report(tok_pos, "pointer-key",
+               "std::" + std::string(kw) + " keyed by a pointer ('" +
+                   std::string(first_arg) +
+                   "'): comparison order is the allocation order of the "
+                   "pointees, which varies run to run; key by a stable id");
+      }
+    }
+  }
+
+  // --- unordered-iteration ---
+  std::vector<std::string> unordered = collect_unordered_vars(stripped);
+  if (!opts.companion_decls.empty()) {
+    const std::string companion_stripped =
+        strip_comments_and_strings(opts.companion_decls);
+    for (std::string& name : collect_unordered_vars(companion_stripped)) {
+      if (std::find(unordered.begin(), unordered.end(), name) ==
+          unordered.end()) {
+        unordered.push_back(std::move(name));
+      }
+    }
+  }
+  if (!unordered.empty()) {
+    std::size_t pos = 0;
+    while ((pos = find_token(stripped, "for", pos)) !=
+           std::string_view::npos) {
+      std::size_t open = skip_ws(stripped, pos + 3);
+      std::size_t for_pos = pos;
+      pos += 3;
+      if (open >= stripped.size() || stripped[open] != '(') continue;
+      // Balanced-paren scan for the loop header.
+      int depth = 0;
+      std::size_t i = open;
+      std::size_t close = std::string_view::npos;
+      for (; i < stripped.size(); ++i) {
+        if (stripped[i] == '(') {
+          ++depth;
+        } else if (stripped[i] == ')') {
+          if (--depth == 0) {
+            close = i;
+            break;
+          }
+        } else if (stripped[i] == '{') {
+          break;  // malformed / macro — bail out of this header
+        }
+      }
+      if (close == std::string_view::npos) continue;
+      std::string_view header = stripped.substr(open + 1, close - open - 1);
+
+      // Range-for: a top-level ':' (not '::') and no ';'.
+      if (header.find(';') != std::string_view::npos) {
+        // Classic for — still flag `it = var.begin()` over unordered vars.
+        for (const std::string& var : unordered) {
+          std::size_t vp = find_token(header, var, 0);
+          while (vp != std::string_view::npos) {
+            std::string_view rest = header.substr(vp + var.size());
+            if (rest.substr(0, 7) == ".begin(" ||
+                rest.substr(0, 8) == ".cbegin(") {
+              int line = line_of(stripped, for_pos);
+              if (!iteration_suppressed(sup, line)) {
+                report(for_pos, "unordered-iteration",
+                       "iterator walk over unordered container '" + var +
+                           "': iteration order is implementation-defined; "
+                           "use an ordered container or justify with "
+                           "// lmk-lint: iteration-order-independent");
+              }
+              break;
+            }
+            vp = find_token(header, var, vp + var.size());
+          }
+        }
+        continue;
+      }
+      std::size_t colon = std::string_view::npos;
+      int hdepth = 0;
+      for (std::size_t h = 0; h < header.size(); ++h) {
+        char c = header[h];
+        if (c == '(' || c == '<' || c == '[') ++hdepth;
+        if (c == ')' || c == '>' || c == ']') --hdepth;
+        if (c == ':' && hdepth == 0) {
+          bool dbl = (h + 1 < header.size() && header[h + 1] == ':') ||
+                     (h > 0 && header[h - 1] == ':');
+          if (!dbl) {
+            colon = h;
+            break;
+          }
+        }
+      }
+      if (colon == std::string_view::npos) continue;
+      std::string_view range_expr = trim(header.substr(colon + 1));
+      for (const std::string& var : unordered) {
+        if (!iterates_var(range_expr, var)) continue;
+        int line = line_of(stripped, for_pos);
+        if (!iteration_suppressed(sup, line)) {
+          report(for_pos, "unordered-iteration",
+                 "range-for over unordered container '" + var +
+                     "': iteration order is implementation-defined, so any "
+                     "RNG draw, accumulation or ordered output it feeds "
+                     "becomes run-dependent; use an ordered container or "
+                     "justify with // lmk-lint: iteration-order-independent");
+        }
+        break;
+      }
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+            });
+  return findings;
+}
+
+}  // namespace lmk::lint

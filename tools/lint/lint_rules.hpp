@@ -1,0 +1,83 @@
+// lmk-lint: repo-specific determinism lint for the simulator core.
+//
+// The reproduction's experimental claims rest on bit-identical,
+// seed-reproducible simulation runs (DESIGN.md "Correctness tooling").
+// This lint statically enforces the three repo rules that protect that
+// property:
+//
+//   banned-source        No wall-clock or environment-seeded randomness
+//                        (std::random_device, std::rand, time(),
+//                        system_clock, steady_clock, ...) outside
+//                        src/common/rng and the bench harness. All
+//                        randomness must flow from a seeded lmk::Rng.
+//
+//   unordered-iteration  No iteration over std::unordered_map /
+//                        std::unordered_set: iteration order is
+//                        implementation-defined, so anything it feeds —
+//                        an RNG draw, an accumulation, an ordered
+//                        output — silently depends on it. Flagged sites
+//                        must switch to a sorted/ordered container or
+//                        carry an explicit justification comment
+//                        `// lmk-lint: iteration-order-independent` on
+//                        the same or the preceding line.
+//
+//   pointer-key          No pointer-keyed std::map / std::set: the
+//                        ordering is the allocation order of the
+//                        pointees, which varies run to run (ASLR, heap
+//                        layout). Key by a stable identifier instead.
+//
+// Any rule can be suppressed for one line with
+// `// lmk-lint: allow(<rule>) <reason>` — reserved for sites reviewed
+// to be safe; prefer fixing.
+//
+// The analysis is a file-local, comment/string-aware token scan — not a
+// full parser. Known limits (documented, acceptable for a lint that
+// gates CI): type aliases of unordered containers are not traced, and a
+// range expression must be a plain variable (or `var.begin()`) declared
+// in the same file to be recognized.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lmk::lint {
+
+/// One lint violation.
+struct Finding {
+  std::string file;
+  int line = 0;  ///< 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// Per-file exemptions and context, derived from the path by the driver.
+struct FileOptions {
+  /// Part of src/common/rng: the one module allowed to name raw entropy
+  /// sources (it wraps them behind the seeded Rng).
+  bool rng_module = false;
+  /// Bench harness: allowed to read wall clocks for throughput timing.
+  bool bench = false;
+  /// Companion-header text (X.hpp next to X.cpp): member variables are
+  /// declared there, so its unordered-container declarations are folded
+  /// into the iteration analysis of the .cpp.
+  std::string_view companion_decls;
+};
+
+/// Replace comments, string literals and char literals with spaces
+/// (newlines preserved, so offsets and line numbers survive). Exposed
+/// for tests.
+[[nodiscard]] std::string strip_comments_and_strings(std::string_view src);
+
+/// Names of variables declared in `src` with an unordered container
+/// type. Exposed for tests.
+[[nodiscard]] std::vector<std::string> collect_unordered_vars(
+    std::string_view stripped);
+
+/// Lint one translation unit / header. `path` is used only for
+/// reporting; `content` is the file text.
+[[nodiscard]] std::vector<Finding> lint_source(std::string_view path,
+                                               std::string_view content,
+                                               const FileOptions& opts = {});
+
+}  // namespace lmk::lint
