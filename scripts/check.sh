@@ -7,11 +7,16 @@
 #   LMK_SANITIZE=address scripts/check.sh
 #   LMK_SANITIZE=undefined scripts/check.sh
 #   LMK_SANITIZE=thread scripts/check.sh
+#   scripts/check.sh --audit            # build + ctest with LMK_AUDIT=1:
+#                                       # every experiment run gets the
+#                                       # invariant auditor attached
+#                                       # (src/audit/, fail-fast)
 #   scripts/check.sh --all              # the full gate:
 #                                       #   1. lmk-lint over src/
 #                                       #   2. clang-tidy (scripts/tidy.sh)
 #                                       #   3. plain build (-Werror) + ctest
-#                                       #   4. ASan, UBSan, TSan builds + ctest
+#                                       #   4. audit leg (LMK_AUDIT=1 ctest)
+#                                       #   5. ASan, UBSan, TSan builds + ctest
 #
 # Every build is -Werror for src/ and tools/ (LMK_WERROR=ON). Each
 # sanitizer gets its own build directory (build-check-<san>) so
@@ -48,14 +53,29 @@ run_lint() {
   ./build-check/tools/lint/lmk-lint src
 }
 
+run_audit() {
+  echo "== check.sh: audit leg (LMK_AUDIT=1) =="
+  cmake -B build-check -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DLMK_WERROR=ON >/dev/null
+  cmake --build build-check -j"$(nproc)"
+  LMK_AUDIT=1 ctest --test-dir build-check --output-on-failure -j"$(nproc)"
+}
+
+if [ "${1:-}" = "--audit" ]; then
+  run_audit
+  echo "check.sh: OK (audit leg, LMK_THREADS=$LMK_THREADS)"
+  exit 0
+fi
+
 if [ "${1:-}" = "--all" ]; then
   run_lint
   BUILD_DIR=build-check scripts/tidy.sh
   run_leg ""
+  run_audit
   for san in address undefined thread; do
     run_leg "$san"
   done
-  echo "check.sh: OK (--all: lint + tidy + plain + asan/ubsan/tsan," \
+  echo "check.sh: OK (--all: lint + tidy + plain + audit + asan/ubsan/tsan," \
        "LMK_THREADS=$LMK_THREADS)"
   exit 0
 fi

@@ -5,9 +5,16 @@
 # Usage:
 #   scripts/tidy.sh                 # tidy every src/ and tools/ TU
 #   scripts/tidy.sh --changed [REF] # only TUs touched since REF
-#                                   # (default: HEAD~1)
+#                                   # (default: $TIDY_BASE_REF or HEAD~1)
 #   BUILD_DIR=build-foo scripts/tidy.sh
 #   CLANG_TIDY=clang-tidy-18 scripts/tidy.sh
+#   TIDY_BASE_REF=origin/main scripts/tidy.sh --changed
+#
+# The base ref diffs via the merge base (three-dot semantics), so a CI
+# run on a branch compares against where the branch forked from
+# origin/main, not whatever origin/main has moved on to. The diff is
+# filtered to added/copied/modified/renamed files so a header renamed or
+# added on the branch still tidies the TUs next to it.
 #
 # The container used for the offline experiment sweeps ships only g++;
 # when clang-tidy is not installed this script SKIPS (exit 0) with a
@@ -35,9 +42,19 @@ fi
 mapfile -t files < <(find src tools -name '*.cpp' | sort)
 
 if [ "${1:-}" = "--changed" ]; then
-  base="${2:-HEAD~1}"
-  mapfile -t changed < <(git diff --name-only "$base" -- 'src/*.cpp' \
-    'src/*.hpp' 'tools/*.cpp' 'tools/*.hpp' | sort -u)
+  base="${2:-${TIDY_BASE_REF:-HEAD~1}}"
+  # merge-base comparison: changes on this branch only, not upstream's.
+  if merge_base=$(git merge-base "$base" HEAD 2>/dev/null); then
+    if [ "$merge_base" = "$(git rev-parse HEAD)" ]; then
+      base="HEAD~1"  # base already contains HEAD (push to main): diff
+                     # the last commit instead of nothing
+    else
+      base="$merge_base"
+    fi
+  fi
+  mapfile -t changed < <(git diff --name-only --diff-filter=ACMR "$base" -- \
+    'src/*.cpp' 'src/*.hpp' 'src/*.h' 'src/*.hh' \
+    'tools/*.cpp' 'tools/*.hpp' 'tools/*.h' 'tools/*.hh' | sort -u)
   if [ "${#changed[@]}" -eq 0 ]; then
     echo "tidy.sh: no src/tools changes since $base — nothing to tidy."
     exit 0
@@ -48,7 +65,8 @@ if [ "${1:-}" = "--changed" ]; then
   for f in "${changed[@]}"; do
     case "$f" in
       *.cpp) pick["$f"]=1 ;;
-      *.hpp) for tu in "$(dirname "$f")"/*.cpp; do
+      *.hpp | *.h | *.hh)
+             for tu in "$(dirname "$f")"/*.cpp; do
                [ -f "$tu" ] && pick["$tu"]=1
              done ;;
     esac

@@ -1,0 +1,82 @@
+// Core types of the invariant-auditor subsystem.
+//
+// The auditor gives the simulation a machine-checked version of the
+// paper's correctness arguments: queries resolve exactly iff the live
+// nodes' hypercuboids tile the index space, Chord routing state matches
+// the converged oracle, and migration/rotation conserve the indexed
+// multiset. Checkers run with a global "god's-eye" view (the Ring and
+// IndexPlatform containers), on a virtual-time cadence and at
+// quiescence, and report Violations that name the offending node, the
+// virtual time, and the violated invariant — diagnostics precise enough
+// to act on from a CI log.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "chord/ring.hpp"
+
+namespace lmk {
+
+class IndexPlatform;
+class Rng;
+
+namespace audit {
+
+/// One invariant violation, carrying enough context to locate the fault.
+struct Violation {
+  std::string invariant;   ///< e.g. "ring/successor", "partition/tiling-gap"
+  Id node = 0;             ///< offending (or responsible) node id
+  bool node_known = false; ///< false for network-wide violations
+  SimTime at = 0;          ///< virtual time of the audit that caught it
+  std::string detail;      ///< human-readable specifics
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Outcome of one audit pass (or several merged passes).
+struct AuditReport {
+  std::vector<Violation> violations;
+  std::uint64_t checks = 0;  ///< individual invariant evaluations
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  void merge(AuditReport other);
+  /// Multi-line digest: counts plus the first few violations.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Everything a checker may look at. Checkers are passive: they never
+/// mutate protocol state or schedule events.
+struct AuditContext {
+  const Ring* ring = nullptr;
+  const IndexPlatform* platform = nullptr;  ///< null when no index hosted
+  SimTime now = 0;
+  Rng* rng = nullptr;  ///< seeded source for sampled checks
+};
+
+/// A pluggable invariant checker.
+class Checker {
+ public:
+  virtual ~Checker() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  virtual void check(const AuditContext& ctx, AuditReport* out) = 0;
+};
+
+/// printf-style std::string formatting for violation details.
+[[nodiscard]] std::string strformat(const char* fmt, ...)
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((format(printf, 1, 2)))
+#endif
+    ;
+
+/// Alive nodes sorted by ascending identifier (the canonical ring order
+/// every checker reasons in).
+[[nodiscard]] std::vector<ChordNode*> alive_by_id(const Ring& ring);
+
+/// True when the LMK_AUDIT environment variable enables auditing for
+/// this process (non-empty and not "0").
+[[nodiscard]] bool audit_env_enabled();
+
+}  // namespace audit
+}  // namespace lmk

@@ -1,0 +1,176 @@
+#include "audit/auditor.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "core/index_platform.hpp"
+#include "lph/lph.hpp"
+
+namespace lmk::audit {
+
+Auditor::Auditor(Ring& ring, IndexPlatform* platform, Options opts)
+    : ring_(ring), platform_(platform), opts_(opts), rng_(opts.seed) {}
+
+Auditor::Auditor(Ring& ring, IndexPlatform* platform)
+    : Auditor(ring, platform, Options{}) {}
+
+void Auditor::add_checker(std::unique_ptr<Checker> checker) {
+  checkers_.push_back(std::move(checker));
+}
+
+void Auditor::install_standard_checkers() {
+  add_checker(std::make_unique<RingChecker>());
+  add_checker(std::make_unique<PartitionChecker>(opts_.tiling_samples));
+  auto conservation = std::make_unique<ConservationChecker>();
+  conservation_ = conservation.get();
+  add_checker(std::move(conservation));
+}
+
+void Auditor::capture_baseline() {
+  LMK_CHECK_MSG(conservation_ != nullptr,
+                "capture_baseline needs install_standard_checkers first");
+  AuditContext ctx{&ring_, platform_, ring_.sim().now(), &rng_};
+  conservation_->capture(ctx);
+}
+
+AuditReport Auditor::run_once() {
+  AuditContext ctx{&ring_, platform_, ring_.sim().now(), &rng_};
+  AuditReport report;
+  for (const auto& checker : checkers_) {
+    checker->check(ctx, &report);
+  }
+  finish_pass(report);
+  return report;
+}
+
+void Auditor::attach() {
+  ring_.sim().set_audit(opts_.cadence, [this](SimTime) { run_once(); });
+}
+
+AuditReport Auditor::audit_queries(std::uint32_t scheme,
+                                   std::size_t samples) {
+  AuditReport report;
+  LMK_CHECK_MSG(platform_ != nullptr,
+                "query-completeness audit needs an index platform");
+  LMK_CHECK_MSG(ring_.sim().pending() == 0,
+                "query-completeness audit requires a quiescent simulator "
+                "(%zu events pending at t=%lld)",
+                ring_.sim().pending(),
+                static_cast<long long>(ring_.sim().now()));
+  if (samples == 0) samples = opts_.query_samples;
+  const SchemeRouting& sch = platform_->scheme(scheme);
+
+  for (std::size_t s = 0; s < samples; ++s) {
+    std::vector<ChordNode*> nodes = alive_by_id(ring_);
+    if (nodes.empty()) break;
+    ChordNode* origin = nodes[rng_.below(nodes.size())];
+
+    // A random near-neighbour region: center uniform in the boundary,
+    // radius a small fraction of the mean dimension span.
+    IndexPoint center(sch.boundary.size(), 0.0);
+    double mean_span = 0;
+    for (std::size_t d = 0; d < sch.boundary.size(); ++d) {
+      const Interval& iv = sch.boundary[d];
+      center[d] = iv.lo + rng_.uniform() * (iv.hi - iv.lo);
+      mean_span += iv.hi - iv.lo;
+    }
+    mean_span /= static_cast<double>(sch.boundary.size());
+    double radius = mean_span * (0.05 + 0.20 * rng_.uniform());
+    Region region = query_region(center, radius);
+
+    // Brute-force oracle over the god's-eye view, using the same
+    // clamped region and closed-interval match the index nodes apply.
+    Region clamped = region;
+    clamp_region(clamped, sch.boundary);
+    std::vector<std::uint64_t> expected;
+    for (ChordNode* node : nodes) {
+      for (const IndexEntry& e : platform_->store(*node, scheme)) {
+        bool inside = true;
+        for (std::size_t d = 0; d < e.point.size(); ++d) {
+          const Interval& r = clamped.ranges[d];
+          if (e.point[d] < r.lo || e.point[d] > r.hi) {
+            inside = false;
+            break;
+          }
+        }
+        if (inside) expected.push_back(e.object);
+      }
+    }
+    std::sort(expected.begin(), expected.end());
+    expected.erase(std::unique(expected.begin(), expected.end()),
+                   expected.end());
+
+    bool finished = false;
+    IndexPlatform::QueryOutcome outcome;
+    platform_->region_query(*origin, scheme, region, center,
+                            ReplyMode::kAllMatches,
+                            [&](const IndexPlatform::QueryOutcome& o) {
+                              outcome = o;
+                              finished = true;
+                            });
+    ring_.sim().run();
+
+    SimTime now = ring_.sim().now();
+    ++report.checks;
+    if (!finished || !outcome.complete) {
+      report.violations.push_back(Violation{
+          "query/incomplete", origin->id(), true, now,
+          strformat("sampled query from %016llx never completed "
+                    "(%d subqueries lost)",
+                    static_cast<unsigned long long>(origin->id()),
+                    outcome.lost_subqueries)});
+      continue;
+    }
+    std::vector<std::uint64_t> got = outcome.results;
+    std::sort(got.begin(), got.end());
+    got.erase(std::unique(got.begin(), got.end()), got.end());
+
+    auto report_diff = [&](const std::vector<std::uint64_t>& a,
+                           const std::vector<std::uint64_t>& b,
+                           const char* kind, const char* explain) {
+      std::vector<std::uint64_t> diff;
+      std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(diff));
+      constexpr std::size_t kShown = 5;
+      for (std::size_t i = 0; i < diff.size() && i < kShown; ++i) {
+        // Name the node whose store the object lives on (oracle view).
+        Id holder = origin->id();
+        bool found = false;
+        for (ChordNode* node : nodes) {
+          for (const IndexEntry& e : platform_->store(*node, scheme)) {
+            if (e.object == diff[i]) {
+              holder = node->id();
+              found = true;
+              break;
+            }
+          }
+          if (found) break;
+        }
+        report.violations.push_back(Violation{
+            strformat("query/%s-result", kind), holder, true, now,
+            strformat("object %llu %s (query origin %016llx, %zu %s "
+                      "in total)",
+                      static_cast<unsigned long long>(diff[i]), explain,
+                      static_cast<unsigned long long>(origin->id()),
+                      diff.size(), kind)});
+      }
+    };
+    report_diff(expected, got, "missing",
+                "matches the region but was not returned");
+    report_diff(got, expected, "spurious",
+                "was returned but does not match the region");
+  }
+
+  finish_pass(report);
+  return report;
+}
+
+void Auditor::finish_pass(const AuditReport& report) {
+  ++audits_;
+  accumulated_.merge(report);
+  if (opts_.fail_fast && !report.ok()) {
+    LMK_CHECK_MSG(false, "%s", report.summary().c_str());
+  }
+}
+
+}  // namespace lmk::audit

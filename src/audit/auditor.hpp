@@ -1,0 +1,87 @@
+// The Auditor: owns a set of pluggable checkers, runs them with a
+// god's-eye view of the overlay, and wires itself to the simulator's
+// audit hook (cadence + quiescence).
+//
+// Passive invariants (ring, partition, conservation) run from the hook
+// while events execute. Query completeness is different in kind — it
+// must *drive* the simulator to route sampled queries — so it is an
+// explicit call (audit_queries) made at quiescence by the harness.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "audit/checkers.hpp"
+#include "common/rng.hpp"
+
+namespace lmk {
+
+class IndexPlatform;
+
+namespace audit {
+
+class Auditor {
+ public:
+  struct Options {
+    /// Virtual-time cadence for hook-driven audits (0 = only at
+    /// quiescence). attach() installs the hook.
+    SimTime cadence = 0;
+    /// Abort (via LMK_CHECK_MSG) on the first failing pass, printing
+    /// the violation diagnostics — the CI mode. Tests leave this off
+    /// and inspect reports.
+    bool fail_fast = false;
+    std::size_t tiling_samples = 64;  ///< partition tiling probes / pass
+    std::size_t query_samples = 3;    ///< sampled queries per audit_queries
+    std::uint64_t seed = 0xa0d17ull;  ///< sampling seed
+  };
+
+  Auditor(Ring& ring, IndexPlatform* platform, Options opts);
+  explicit Auditor(Ring& ring, IndexPlatform* platform = nullptr);
+
+  /// Add a custom checker (runs after any already installed).
+  void add_checker(std::unique_ptr<Checker> checker);
+
+  /// Install the standard ring, partition, and conservation checkers.
+  void install_standard_checkers();
+
+  /// The installed conservation checker (null until
+  /// install_standard_checkers).
+  [[nodiscard]] ConservationChecker* conservation() { return conservation_; }
+
+  /// Snapshot the current index multiset as the conservation baseline.
+  void capture_baseline();
+
+  /// Run every checker once against the current global state.
+  AuditReport run_once();
+
+  /// Register run_once() as the simulator's audit hook at the
+  /// configured cadence (and at quiescence).
+  void attach();
+
+  /// Cross-check `samples` random range queries (0 = options default)
+  /// against a brute-force scan of every live store. Requires a
+  /// platform and a quiescent simulator; drives the simulator to route
+  /// the sampled queries.
+  AuditReport audit_queries(std::uint32_t scheme, std::size_t samples = 0);
+
+  /// Union of every pass so far (hook-driven and explicit).
+  [[nodiscard]] const AuditReport& accumulated() const { return accumulated_; }
+
+  /// Number of completed audit passes.
+  [[nodiscard]] std::uint64_t audits_run() const { return audits_; }
+
+ private:
+  void finish_pass(const AuditReport& report);
+
+  Ring& ring_;
+  IndexPlatform* platform_;
+  Options opts_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Checker>> checkers_;
+  ConservationChecker* conservation_ = nullptr;
+  AuditReport accumulated_;
+  std::uint64_t audits_ = 0;
+};
+
+}  // namespace audit
+}  // namespace lmk

@@ -1,0 +1,299 @@
+#include "audit/checkers.hpp"
+
+#include <algorithm>
+
+#include "common/ring_math.hpp"
+#include "common/rng.hpp"
+#include "core/index_platform.hpp"
+#include "lph/lph.hpp"
+
+namespace lmk::audit {
+namespace {
+
+unsigned long long hex(Id id) { return static_cast<unsigned long long>(id); }
+
+void add(AuditReport* out, std::string invariant, SimTime at, Id node,
+         bool node_known, std::string detail) {
+  out->violations.push_back(Violation{std::move(invariant), node, node_known,
+                                      at, std::move(detail)});
+}
+
+/// Index of the alive node owning `key` in the id-sorted vector.
+std::size_t owner_index(const std::vector<ChordNode*>& nodes, Id key) {
+  auto it = std::lower_bound(
+      nodes.begin(), nodes.end(), key,
+      [](const ChordNode* a, Id k) { return a->id() < k; });
+  if (it == nodes.end()) return 0;  // wrap to the smallest id
+  return static_cast<std::size_t>(it - nodes.begin());
+}
+
+}  // namespace
+
+// ----- RingChecker -----
+
+void RingChecker::check(const AuditContext& ctx, AuditReport* out) {
+  std::vector<ChordNode*> nodes = alive_by_id(*ctx.ring);
+  std::size_t n = nodes.size();
+  if (n == 0) return;
+  if (n == 1) {
+    ChordNode* only = nodes[0];
+    out->checks += 2;
+    if (only->successor().node != only) {
+      add(out, "ring/successor", ctx.now, only->id(), true,
+          "singleton ring: node is not its own successor");
+    }
+    const NodeRef& p = only->predecessor();
+    if (!p.valid() || p.node != only) {
+      add(out, "ring/predecessor", ctx.now, only->id(), true,
+          "singleton ring: node is not its own predecessor");
+    }
+    return;
+  }
+
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    ChordNode* node = nodes[idx];
+    ChordNode* expected_succ = nodes[(idx + 1) % n];
+    ChordNode* expected_pred = nodes[(idx + n - 1) % n];
+
+    // Successor: the next live identifier on the ring.
+    ++out->checks;
+    NodeRef succ = node->successor();
+    if (!succ.valid() || succ.node != expected_succ) {
+      add(out, "ring/successor", ctx.now, node->id(), true,
+          strformat("successor is %016llx%s, next live id is %016llx",
+                    hex(succ.id), succ.valid() ? "" : " (stale)",
+                    hex(expected_succ->id())));
+    }
+
+    // Successor list: a correct prefix of the ring order after this
+    // node, with no stale entries and no skipped live node.
+    std::span<const NodeRef> list = node->successor_list();
+    std::size_t expected_len =
+        std::min<std::size_t>(ChordNode::kSuccessors, n - 1);
+    ++out->checks;
+    if (list.size() != expected_len) {
+      add(out, "ring/successor-list", ctx.now, node->id(), true,
+          strformat("successor list has %zu entries, expected %zu",
+                    list.size(), expected_len));
+    }
+    for (std::size_t j = 0; j < list.size(); ++j) {
+      ++out->checks;
+      ChordNode* want = nodes[(idx + 1 + j) % n];
+      if (!list[j].valid()) {
+        add(out, "ring/successor-list", ctx.now, node->id(), true,
+            strformat("successor list entry %zu (%016llx) is stale", j,
+                      hex(list[j].id)));
+      } else if (list[j].node != want) {
+        add(out, "ring/successor-list", ctx.now, node->id(), true,
+            strformat("successor list entry %zu is %016llx, ring order "
+                      "expects %016llx",
+                      j, hex(list[j].id), hex(want->id())));
+        break;  // everything after a skipped node mismatches too
+      }
+    }
+
+    // Predecessor: symmetric with the previous node's successor claim.
+    ++out->checks;
+    const NodeRef& pred = node->predecessor();
+    if (!pred.valid() || pred.node != expected_pred) {
+      add(out, "ring/predecessor", ctx.now, node->id(), true,
+          strformat("predecessor is %016llx%s, previous live id is %016llx",
+                    hex(pred.id), pred.valid() ? "" : " (stale/unset)",
+                    hex(expected_pred->id())));
+    }
+
+    // Fingers: finger i may be any node in the paper's interval
+    // [id + 2^i, id + 2^{i+1}) (PNS picks by latency among them); when
+    // the interval holds no live node it must be the first node after
+    // the interval, i.e. the oracle successor of the interval start.
+    for (int i = 0; i < kIdBits; ++i) {
+      ++out->checks;
+      Id start = node->finger_start(i);
+      Id end = node->id() + (Id{1} << (i + 1));  // == id when i == 63
+      NodeRef f = node->finger_table()[static_cast<std::size_t>(i)];
+      if (!f.valid()) {
+        add(out, "ring/finger", ctx.now, node->id(), true,
+            strformat("finger %d (%016llx) is stale or unset", i,
+                      hex(f.id)));
+        continue;
+      }
+      ChordNode* oracle = nodes[owner_index(nodes, start)];
+      if (in_closed_open(oracle->id(), start, end)) {
+        if (!in_closed_open(f.id, start, end)) {
+          add(out, "ring/finger", ctx.now, node->id(), true,
+              strformat("finger %d is %016llx, outside its interval "
+                        "[%016llx, %016llx) which holds live node %016llx",
+                        i, hex(f.id), hex(start), hex(end),
+                        hex(oracle->id())));
+        }
+      } else if (f.node != oracle) {
+        add(out, "ring/finger", ctx.now, node->id(), true,
+            strformat("finger %d is %016llx, but its empty interval "
+                      "[%016llx, %016llx) must fall through to %016llx",
+                      i, hex(f.id), hex(start), hex(end),
+                      hex(oracle->id())));
+      }
+    }
+  }
+}
+
+// ----- PartitionChecker -----
+
+void PartitionChecker::check(const AuditContext& ctx, AuditReport* out) {
+  std::vector<ChordNode*> nodes = alive_by_id(*ctx.ring);
+  std::size_t n = nodes.size();
+  if (n == 0) return;
+
+  // Exact arc tiling: node idx claims (predecessor.id, id]; the claims
+  // tile the ring iff every claimed arc starts exactly where the
+  // previous live node ends.
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    ChordNode* node = nodes[idx];
+    ChordNode* expected_pred = nodes[(idx + n - 1) % n];
+    ++out->checks;
+    const NodeRef& pred = node->predecessor();
+    if (!pred.valid()) {
+      add(out, "partition/arc", ctx.now, node->id(), true,
+          strformat("claimed arc has no live lower bound (predecessor "
+                    "%016llx is stale/unset)",
+                    hex(pred.id)));
+      continue;
+    }
+    if (pred.id == expected_pred->id()) continue;
+    if (n > 1 && in_open(pred.id, expected_pred->id(), node->id())) {
+      add(out, "partition/arc-gap", ctx.now, node->id(), true,
+          strformat("keys in (%016llx, %016llx] are claimed by no node "
+                    "(arc starts at %016llx, previous live id is %016llx)",
+                    hex(expected_pred->id()), hex(pred.id), hex(pred.id),
+                    hex(expected_pred->id())));
+    } else {
+      add(out, "partition/arc-overlap", ctx.now, node->id(), true,
+          strformat("claimed arc (%016llx, %016llx] overlaps arcs of "
+                    "preceding nodes (previous live id is %016llx)",
+                    hex(pred.id), hex(node->id()), hex(expected_pred->id())));
+    }
+  }
+
+  // Sampled whole-space probe: every key — equivalently every LPH leaf
+  // cuboid, since cuboid codes are keys — must have exactly one owner.
+  if (ctx.rng != nullptr) {
+    for (std::size_t s = 0; s < tiling_samples_; ++s) {
+      ++out->checks;
+      Id key = ctx.rng->next();
+      std::size_t owners = 0;
+      for (ChordNode* node : nodes) {
+        if (node->owns(key)) ++owners;
+      }
+      if (owners == 1) continue;
+      ChordNode* oracle = nodes[owner_index(nodes, key)];
+      add(out,
+          owners == 0 ? "partition/tiling-gap" : "partition/tiling-overlap",
+          ctx.now, oracle->id(), true,
+          strformat("key %016llx has %zu claimants, expected exactly 1 "
+                    "(ring owner %016llx)",
+                    hex(key), owners, hex(oracle->id())));
+    }
+  }
+
+  // Stored entries: each copy carries the key its point hashes to and
+  // sits on the owner (or, with replication r, one of the owner's r-1
+  // successors).
+  if (ctx.platform == nullptr) return;
+  const IndexPlatform& platform = *ctx.platform;
+  std::size_t replication = std::max<std::size_t>(
+      1, platform.options().replication);
+  for (ChordNode* node : nodes) {
+    for (std::uint32_t s = 0;
+         s < static_cast<std::uint32_t>(platform.scheme_count()); ++s) {
+      const SchemeRouting& sch = platform.scheme(s);
+      for (const IndexEntry& e : platform.store(*node, s)) {
+        out->checks += 2;
+        Id expect_key = lph_hash(e.point, sch.boundary) + sch.rotation;
+        if (e.key != expect_key) {
+          add(out, "partition/entry-key", ctx.now, node->id(), true,
+              strformat("scheme %u object %llu stored under key %016llx "
+                        "but its point hashes to %016llx",
+                        s, static_cast<unsigned long long>(e.object),
+                        hex(e.key), hex(expect_key)));
+        }
+        std::size_t oidx = owner_index(nodes, e.key);
+        bool placed = false;
+        for (std::size_t r = 0; r < std::min(replication, n); ++r) {
+          if (nodes[(oidx + r) % n] == node) {
+            placed = true;
+            break;
+          }
+        }
+        if (!placed) {
+          add(out, "partition/entry-misplaced", ctx.now, node->id(), true,
+              strformat("scheme %u object %llu (key %016llx) stored "
+                        "outside its owner's cuboid — owner is %016llx",
+                        s, static_cast<unsigned long long>(e.object),
+                        hex(e.key), hex(nodes[oidx]->id())));
+        }
+      }
+    }
+  }
+}
+
+// ----- ConservationChecker -----
+
+std::vector<ConservationChecker::Item> ConservationChecker::collect(
+    const AuditContext& ctx) {
+  std::vector<Item> items;
+  if (ctx.platform == nullptr) return items;
+  for (ChordNode* node : alive_by_id(*ctx.ring)) {
+    for (std::uint32_t s = 0;
+         s < static_cast<std::uint32_t>(ctx.platform->scheme_count()); ++s) {
+      for (const IndexEntry& e : ctx.platform->store(*node, s)) {
+        items.emplace_back(s, e.object, e.key);
+      }
+    }
+  }
+  std::sort(items.begin(), items.end());
+  return items;
+}
+
+void ConservationChecker::capture(const AuditContext& ctx) {
+  baseline_ = collect(ctx);
+  captured_ = true;
+}
+
+void ConservationChecker::check(const AuditContext& ctx, AuditReport* out) {
+  if (!captured_ || ctx.platform == nullptr) return;
+  ++out->checks;
+  std::vector<Item> current = collect(ctx);
+  std::vector<Item> lost;
+  std::set_difference(baseline_.begin(), baseline_.end(), current.begin(),
+                      current.end(), std::back_inserter(lost));
+  std::vector<Item> duplicated;
+  std::set_difference(current.begin(), current.end(), baseline_.begin(),
+                      baseline_.end(), std::back_inserter(duplicated));
+
+  std::vector<ChordNode*> nodes = alive_by_id(*ctx.ring);
+  auto report = [&](const std::vector<Item>& items, const char* kind) {
+    constexpr std::size_t kShown = 5;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      const auto& [scheme, object, key] = items[i];
+      // Blame the node that owns (or should own) the entry's key.
+      Id owner = nodes.empty() ? Id{0} : nodes[owner_index(nodes, key)]->id();
+      if (i == kShown && items.size() > kShown + 1) {
+        add(out, strformat("conservation/%s", kind), ctx.now, owner,
+            !nodes.empty(),
+            strformat("... and %zu more entries %s since the baseline",
+                      items.size() - kShown, kind));
+        break;
+      }
+      add(out, strformat("conservation/%s", kind), ctx.now, owner,
+          !nodes.empty(),
+          strformat("scheme %u object %llu (key %016llx) %s since the "
+                    "baseline of %zu entries",
+                    scheme, static_cast<unsigned long long>(object), hex(key),
+                    kind, baseline_.size()));
+    }
+  };
+  report(lost, "lost");
+  report(duplicated, "duplicated");
+}
+
+}  // namespace lmk::audit

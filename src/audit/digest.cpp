@@ -1,0 +1,69 @@
+#include "audit/digest.hpp"
+
+#include <bit>
+
+#include "audit/audit.hpp"
+#include "core/index_platform.hpp"
+
+namespace lmk::audit {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+void mix(std::uint64_t* h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    *h ^= (v >> (8 * i)) & 0xff;
+    *h *= kFnvPrime;
+  }
+}
+
+void mix_ref(std::uint64_t* h, const NodeRef& r) {
+  mix(h, r.valid() ? r.id : ~std::uint64_t{0});
+  mix(h, r.valid() ? 1 : 0);
+}
+
+}  // namespace
+
+std::uint64_t node_state_digest(const ChordNode& node,
+                                const IndexPlatform* platform) {
+  std::uint64_t h = kFnvOffset;
+  mix(&h, node.id());
+  mix(&h, node.alive() ? 1 : 0);
+  mix(&h, node.incarnation());
+  mix_ref(&h, node.predecessor());
+  mix(&h, node.successor_list().size());
+  for (const NodeRef& r : node.successor_list()) mix_ref(&h, r);
+  for (const NodeRef& f : node.finger_table()) mix_ref(&h, f);
+  if (platform != nullptr) {
+    for (std::uint32_t s = 0;
+         s < static_cast<std::uint32_t>(platform->scheme_count()); ++s) {
+      const auto& entries = platform->store(node, s);
+      // Multiset hash: sum of per-entry digests, insensitive to the
+      // store's vector order.
+      std::uint64_t sum = 0;
+      for (const IndexEntry& e : entries) {
+        std::uint64_t eh = kFnvOffset;
+        mix(&eh, e.key);
+        mix(&eh, e.object);
+        for (double d : e.point) mix(&eh, std::bit_cast<std::uint64_t>(d));
+        sum += eh;
+      }
+      mix(&h, s);
+      mix(&h, entries.size());
+      mix(&h, sum);
+    }
+  }
+  return h;
+}
+
+std::vector<NodeDigest> network_digests(const Ring& ring,
+                                        const IndexPlatform* platform) {
+  std::vector<NodeDigest> out;
+  for (const ChordNode* node : alive_by_id(ring)) {
+    out.push_back(NodeDigest{node->id(), node_state_digest(*node, platform)});
+  }
+  return out;
+}
+
+}  // namespace lmk::audit

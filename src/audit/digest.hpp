@@ -1,0 +1,36 @@
+// Per-node state digests for the event-tie race detector.
+//
+// A digest summarizes everything observable about one node: its routing
+// state (successors, predecessor, fingers, incarnation) and the index
+// entries it stores. Store contents are hashed as a multiset, so two
+// nodes holding the same entries in different vector order digest
+// equally — vector order is an artifact of arrival order, not state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chord/ring.hpp"
+
+namespace lmk {
+
+class IndexPlatform;
+
+namespace audit {
+
+struct NodeDigest {
+  Id node = 0;
+  std::uint64_t digest = 0;
+};
+
+/// FNV-1a digest of one node's routing state and (if `platform` is
+/// non-null) its stored entries.
+[[nodiscard]] std::uint64_t node_state_digest(const ChordNode& node,
+                                              const IndexPlatform* platform);
+
+/// Digests of every alive node, ascending by node id.
+[[nodiscard]] std::vector<NodeDigest> network_digests(
+    const Ring& ring, const IndexPlatform* platform);
+
+}  // namespace audit
+}  // namespace lmk

@@ -1,0 +1,57 @@
+#include "audit/race.hpp"
+
+#include <algorithm>
+
+#include "audit/audit.hpp"
+
+namespace lmk::audit {
+
+std::string RaceReport::to_string() const {
+  if (!diverged) {
+    return strformat("event-tie race check: no divergence "
+                     "(%llu tie group(s), %llu tied event(s))",
+                     static_cast<unsigned long long>(ties.groups),
+                     static_cast<unsigned long long>(ties.events));
+  }
+  std::string out = strformat(
+      "event-tie race detected: %zu node(s) diverge under perturbed "
+      "tie-break order:",
+      divergent_nodes.size());
+  std::size_t shown = std::min<std::size_t>(divergent_nodes.size(), 8);
+  for (std::size_t i = 0; i < shown; ++i) {
+    out += strformat(" %016llx",
+                     static_cast<unsigned long long>(divergent_nodes[i]));
+  }
+  if (shown < divergent_nodes.size()) out += " ...";
+  return out;
+}
+
+RaceReport detect_event_tie_races(const ScenarioFn& scenario) {
+  RaceReport report;
+  std::vector<NodeDigest> fifo = scenario(TieBreak::kFifo, &report.ties);
+  std::vector<NodeDigest> reversed = scenario(TieBreak::kReversed, nullptr);
+
+  // Both vectors are sorted by node id (network_digests order); a
+  // mismatch in membership is itself a divergence.
+  std::size_t i = 0, j = 0;
+  while (i < fifo.size() || j < reversed.size()) {
+    if (j >= reversed.size() ||
+        (i < fifo.size() && fifo[i].node < reversed[j].node)) {
+      report.divergent_nodes.push_back(fifo[i].node);
+      ++i;
+    } else if (i >= fifo.size() || reversed[j].node < fifo[i].node) {
+      report.divergent_nodes.push_back(reversed[j].node);
+      ++j;
+    } else {
+      if (fifo[i].digest != reversed[j].digest) {
+        report.divergent_nodes.push_back(fifo[i].node);
+      }
+      ++i;
+      ++j;
+    }
+  }
+  report.diverged = !report.divergent_nodes.empty();
+  return report;
+}
+
+}  // namespace lmk::audit

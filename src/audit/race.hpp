@@ -1,0 +1,45 @@
+// Event-tie race detector: a deterministic-simulation analogue of a
+// race detector.
+//
+// Two events scheduled for the same virtual instant on the same node
+// are "tied": the physical system they model gives no ordering between
+// them, yet the simulator must pick one (FIFO by insertion). If any
+// simulation outcome depends on that pick, the model has a race — a
+// hidden order dependence that TSan structurally cannot see, because
+// the simulator is single-threaded.
+//
+// The detector runs a caller-supplied scenario twice — once under the
+// FIFO tie-break and once with same-timestamp ties reversed (both fully
+// deterministic) — and compares per-node state digests. Divergence
+// pinpoints exactly which nodes' final state depended on tie order.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "audit/digest.hpp"
+#include "sim/event_queue.hpp"
+
+namespace lmk::audit {
+
+struct RaceReport {
+  bool diverged = false;
+  std::vector<Id> divergent_nodes;  ///< ids whose digests differ
+  TieStats ties;                    ///< tie groups seen in the FIFO run
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// A scenario builds a fresh simulation under the given tie-break
+/// policy (set it on the Simulator before scheduling anything), runs it
+/// to quiescence, and returns the per-node digests — typically
+/// network_digests(ring, platform). It may also report the run's
+/// TieStats via the out-param (pass the FIFO run's stats; may ignore).
+using ScenarioFn =
+    std::function<std::vector<NodeDigest>(TieBreak, TieStats* stats)>;
+
+/// Run `scenario` under both tie-break policies and diff the digests.
+[[nodiscard]] RaceReport detect_event_tie_races(const ScenarioFn& scenario);
+
+}  // namespace lmk::audit

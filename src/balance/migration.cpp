@@ -9,11 +9,12 @@ namespace lmk {
 
 LoadBalancer::LoadBalancer(Ring& ring, Options opts, Hooks hooks)
     : ring_(ring), opts_(opts), hooks_(std::move(hooks)) {
-  LMK_CHECK(hooks_.load != nullptr);
-  LMK_CHECK(hooks_.split_key != nullptr);
-  LMK_CHECK(hooks_.drain_to != nullptr);
-  LMK_CHECK(hooks_.pull_owned != nullptr);
-  LMK_CHECK(opts_.probe_level >= 1);
+  LMK_CHECK_MSG(hooks_.load != nullptr, "load hook not supplied");
+  LMK_CHECK_MSG(hooks_.split_key != nullptr, "split_key hook not supplied");
+  LMK_CHECK_MSG(hooks_.drain_to != nullptr, "drain_to hook not supplied");
+  LMK_CHECK_MSG(hooks_.pull_owned != nullptr, "pull_owned hook not supplied");
+  LMK_CHECK_MSG(opts_.probe_level >= 1, "probe_level %d must be >= 1",
+                opts_.probe_level);
 }
 
 std::vector<ChordNode*> LoadBalancer::probe_set(ChordNode& n) const {
@@ -61,7 +62,12 @@ bool LoadBalancer::try_migrate(ChordNode& heavy) {
   // Migrating is only useful if the victim ends up with less than half
   // of the heavy node's load; otherwise we would just swap the hotspot.
   if (lightest_load >= my_load / 2.0) return false;
-  LMK_CHECK(lightest != nullptr);
+  LMK_CHECK_MSG(lightest != nullptr,
+                "no migration victim among %zu probes of node %016llx "
+                "at t=%lld",
+                probes.size(),
+                static_cast<unsigned long long>(heavy.id()),
+                static_cast<long long>(ring_.sim().now()));
   if (lightest == &heavy) return false;
   // The victim must not be the heavy node's current predecessor with no
   // load to shed, and a split key equal to an existing id is nudged.

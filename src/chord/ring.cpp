@@ -13,7 +13,10 @@ ChordNode& Ring::create_node(HostId host) {
 }
 
 ChordNode& Ring::create_node_with_id(HostId host, Id id) {
-  LMK_CHECK(host < net_.hosts());
+  LMK_CHECK_MSG(host < net_.hosts(),
+                "host %llu for node %016llx outside topology of %zu hosts",
+                static_cast<unsigned long long>(host),
+                static_cast<unsigned long long>(id), net_.hosts());
   nodes_.push_back(std::make_unique<ChordNode>(host, id));
   ChordNode& n = *nodes_.back();
   insert_sorted(n);
@@ -35,7 +38,10 @@ void Ring::insert_sorted(ChordNode& n) {
       [](const ChordNode* a, Id id) { return a->id() < id; });
   // Identifier collisions would make ownership ambiguous; with random
   // 64-bit ids this is effectively impossible, so treat it as a bug.
-  LMK_CHECK(it == sorted_.end() || (*it)->id() != n.id());
+  LMK_CHECK_MSG(it == sorted_.end() || (*it)->id() != n.id(),
+                "id collision on %016llx at t=%lld",
+                static_cast<unsigned long long>(n.id()),
+                static_cast<long long>(sim().now()));
   sorted_.insert(it, &n);
 }
 
@@ -43,7 +49,10 @@ void Ring::remove_sorted(ChordNode& n) {
   auto it = std::lower_bound(
       sorted_.begin(), sorted_.end(), n.id(),
       [](const ChordNode* a, Id id) { return a->id() < id; });
-  LMK_CHECK(it != sorted_.end() && *it == &n);
+  LMK_CHECK_MSG(it != sorted_.end() && *it == &n,
+                "node %016llx missing from alive index at t=%lld",
+                static_cast<unsigned long long>(n.id()),
+                static_cast<long long>(sim().now()));
   sorted_.erase(it);
 }
 
@@ -83,10 +92,14 @@ std::vector<NodeRef> Ring::successor_list_from(std::size_t idx,
 }
 
 void Ring::fix_neighbors(ChordNode& n) {
-  LMK_CHECK(n.alive());
+  LMK_CHECK_MSG(n.alive(), "fix_neighbors on dead node %016llx at t=%lld",
+                static_cast<unsigned long long>(n.id()),
+                static_cast<long long>(sim().now()));
   std::size_t n_count = sorted_.size();
   std::size_t idx = sorted_index_of_successor(n.id());
-  LMK_CHECK(sorted_[idx] == &n);
+  LMK_CHECK_MSG(sorted_[idx] == &n,
+                "alive index out of sync for node %016llx",
+                static_cast<unsigned long long>(n.id()));
   ChordNode* pred = sorted_[(idx + n_count - 1) % n_count];
   if (pred == &n) {
     // Singleton ring: a node is its own predecessor and successor.
@@ -99,7 +112,9 @@ void Ring::fix_neighbors(ChordNode& n) {
 }
 
 void Ring::fix_fingers(ChordNode& n) {
-  LMK_CHECK(n.alive());
+  LMK_CHECK_MSG(n.alive(), "fix_fingers on dead node %016llx at t=%lld",
+                static_cast<unsigned long long>(n.id()),
+                static_cast<long long>(sim().now()));
   std::size_t ring_size = sorted_.size();
   for (int i = 0; i < kIdBits; ++i) {
     Id start = n.finger_start(i);
@@ -192,8 +207,12 @@ void Ring::find_successor(ChordNode& from, Id key, LookupCallback done) {
 
 void Ring::protocol_join(ChordNode& n, ChordNode& gateway,
                          std::function<void()> done) {
-  LMK_CHECK(n.alive());
-  LMK_CHECK(&n != &gateway);
+  LMK_CHECK_MSG(n.alive(), "protocol_join of dead node %016llx at t=%lld",
+                static_cast<unsigned long long>(n.id()),
+                static_cast<long long>(sim().now()));
+  LMK_CHECK_MSG(&n != &gateway,
+                "node %016llx cannot join through itself",
+                static_cast<unsigned long long>(n.id()));
   find_successor(gateway, n.id(), [this, &n, done = std::move(done)](
                                       NodeRef owner, int /*hops*/) {
     if (owner.node == &n) {
@@ -331,10 +350,17 @@ void Ring::run_stabilization(int rounds, SimTime period) {
 }
 
 void Ring::leave(ChordNode& n) {
-  LMK_CHECK(n.alive());
-  LMK_CHECK(sorted_.size() > 1);
+  LMK_CHECK_MSG(n.alive(), "leave of dead node %016llx at t=%lld",
+                static_cast<unsigned long long>(n.id()),
+                static_cast<long long>(sim().now()));
+  LMK_CHECK_MSG(sorted_.size() > 1,
+                "node %016llx cannot leave a singleton ring at t=%lld",
+                static_cast<unsigned long long>(n.id()),
+                static_cast<long long>(sim().now()));
   std::size_t idx = sorted_index_of_successor(n.id());
-  LMK_CHECK(sorted_[idx] == &n);
+  LMK_CHECK_MSG(sorted_[idx] == &n,
+                "alive index out of sync for leaving node %016llx",
+                static_cast<unsigned long long>(n.id()));
   remove_sorted(n);
   n.kill();
   // Repair the neighbourhood whose successor lists / predecessor
@@ -349,19 +375,29 @@ void Ring::leave(ChordNode& n) {
 }
 
 void Ring::fail(ChordNode& n) {
-  LMK_CHECK(n.alive());
-  LMK_CHECK(sorted_.size() > 1);
+  LMK_CHECK_MSG(n.alive(), "fail of already-dead node %016llx at t=%lld",
+                static_cast<unsigned long long>(n.id()),
+                static_cast<long long>(sim().now()));
+  LMK_CHECK_MSG(sorted_.size() > 1,
+                "node %016llx cannot fail out of a singleton ring",
+                static_cast<unsigned long long>(n.id()));
   remove_sorted(n);
   n.kill();
 }
 
 void Ring::rejoin(ChordNode& n, Id new_id) {
-  LMK_CHECK(!n.alive());
+  LMK_CHECK_MSG(!n.alive(),
+                "rejoin of live node %016llx as %016llx at t=%lld",
+                static_cast<unsigned long long>(n.id()),
+                static_cast<unsigned long long>(new_id),
+                static_cast<long long>(sim().now()));
   n.revive(new_id);
   insert_sorted(n);
   std::size_t n_count = sorted_.size();
   std::size_t idx = sorted_index_of_successor(new_id);
-  LMK_CHECK(sorted_[idx] == &n);
+  LMK_CHECK_MSG(sorted_[idx] == &n,
+                "alive index out of sync for rejoined node %016llx",
+                static_cast<unsigned long long>(new_id));
   // Repair the new node, its successor (whose predecessor pointer must
   // now reference n), and the kSuccessors ring predecessors whose
   // successor lists gain n.

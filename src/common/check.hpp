@@ -2,9 +2,15 @@
 //
 // LMK_CHECK is active in all build types (experiments are only meaningful
 // when the protocol invariants actually hold), while LMK_DCHECK compiles
-// out in NDEBUG builds and is meant for hot paths.
+// out in NDEBUG builds and is meant for hot paths. LMK_CHECK_MSG carries
+// printf-formatted context (node id, virtual time, ...) so a failure in a
+// long simulation pinpoints the offending node and instant.
+//
+// This header is the only place in src/ allowed to terminate the process
+// (enforced by the banned-abort lint rule in tools/lint).
 #pragma once
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 
@@ -16,11 +22,36 @@ namespace lmk {
   std::abort();
 }
 
+#if defined(__GNUC__) || defined(__clang__)
+#define LMK_PRINTF_LIKE(fmt_idx, arg_idx) \
+  __attribute__((format(printf, fmt_idx, arg_idx)))
+#else
+#define LMK_PRINTF_LIKE(fmt_idx, arg_idx)
+#endif
+
+[[noreturn]] LMK_PRINTF_LIKE(4, 5) inline void check_failed_msg(
+    const char* expr, const char* file, int line, const char* fmt, ...) {
+  std::fprintf(stderr, "LMK_CHECK failed: %s at %s:%d: ", expr, file, line);
+  std::va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+  std::abort();
+}
+
 }  // namespace lmk
 
 #define LMK_CHECK(expr)                                 \
   do {                                                  \
     if (!(expr)) ::lmk::check_failed(#expr, __FILE__, __LINE__); \
+  } while (0)
+
+#define LMK_CHECK_MSG(expr, ...)                              \
+  do {                                                        \
+    if (!(expr)) {                                            \
+      ::lmk::check_failed_msg(#expr, __FILE__, __LINE__, __VA_ARGS__); \
+    }                                                         \
   } while (0)
 
 #ifdef NDEBUG

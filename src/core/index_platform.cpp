@@ -314,9 +314,11 @@ void IndexPlatform::on_solve(const RangeQuery& q, ChordNode& node) {
     aq.replies_pending += 1;
     std::uint64_t qid = q.qid;
     ChordNode* node_ptr = &node;
+    // Tagged with the node's host so the event queue can account for
+    // same-(timestamp, node) tie groups (audit race detector).
     ring_.sim().schedule_after(0, [this, qid, node_ptr]() {
       flush_reply(qid, *node_ptr);
-    });
+    }, node.host());
   }
 }
 

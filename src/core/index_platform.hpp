@@ -120,6 +120,8 @@ class IndexPlatform {
   [[nodiscard]] const std::string& scheme_name(std::uint32_t id) const;
   [[nodiscard]] std::size_t scheme_count() const { return schemes_.size(); }
 
+  [[nodiscard]] const Options& options() const { return opts_; }
+
   // ----- data -----
 
   /// Bulk-load one entry at its owner (oracle placement; no messages).
@@ -219,6 +221,15 @@ class IndexPlatform {
   [[nodiscard]] const std::vector<IndexEntry>& store(const ChordNode& n,
                                                      std::uint32_t scheme)
       const;
+
+  /// Mutable access to a node's store, bypassing placement. Exists so
+  /// the audit mutation tests can inject protocol faults (misplaced,
+  /// dropped or duplicated entries) behind the platform's back; regular
+  /// code must go through insert/remove/transfer.
+  [[nodiscard]] std::vector<IndexEntry>& mutable_store(const ChordNode& n,
+                                                       std::uint32_t scheme) {
+    return entries(n, scheme);
+  }
 
   /// Verify placement: with replication = 1, every stored entry sits on
   /// the node owning its key; with replication r, each copy sits on the

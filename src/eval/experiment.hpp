@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "audit/auditor.hpp"
 #include "balance/migration.hpp"
 #include "core/typed_index.hpp"
 #include "eval/ground_truth.hpp"
@@ -88,6 +89,28 @@ class SimilarityExperiment {
       balancer_->run_until_stable();
       platform_->check_placement_invariant();
     }
+    // Audit-enabled runs (LMK_AUDIT=1; the scripts/check.sh --audit
+    // leg): verify the full invariant catalogue on a virtual-time
+    // cadence while batches run, plus sampled query-completeness
+    // cross-checks after each batch. fail_fast aborts with the
+    // violation diagnostics, failing the test that drove the run.
+    if (audit::audit_env_enabled()) {
+      audit::Auditor::Options aopts;
+      // Query batches span hours of virtual time (mean interarrival is
+      // minutes); a 10-minute cadence still yields dozens of mid-run
+      // passes per batch while keeping the audited suite within ~2x of
+      // the unaudited wall-clock (full passes are O(nodes * fingers)).
+      aopts.cadence = 600 * kSecond;
+      aopts.fail_fast = true;
+      // Derived from the config seed, not rng_, so the experiment's own
+      // random draws are identical with and without auditing.
+      aopts.seed = cfg.seed ^ 0xa0d17a0d17ull;
+      auditor_ = std::make_unique<audit::Auditor>(*ring_, platform_.get(),
+                                                  aopts);
+      auditor_->install_standard_checkers();
+      auditor_->capture_baseline();
+      auditor_->attach();
+    }
   }
 
   /// Install the query workload; ground-truth k-NN sets are computed
@@ -146,8 +169,14 @@ class SimilarityExperiment {
       });
     }
     sim_.run();
+    if (auditor_) {
+      auditor_->audit_queries(index_->scheme_id());
+    }
     return stats;
   }
+
+  /// The auditor driving LMK_AUDIT runs (null otherwise).
+  [[nodiscard]] audit::Auditor* auditor() { return auditor_.get(); }
 
   /// Node loads (index entries), sorted descending — the paper's load
   /// distribution figures (4 and 6).
@@ -193,6 +222,7 @@ class SimilarityExperiment {
   std::unique_ptr<IndexPlatform> platform_;
   std::unique_ptr<LandmarkIndex<S>> index_;
   std::unique_ptr<LoadBalancer> balancer_;
+  std::unique_ptr<audit::Auditor> auditor_;
 };
 
 }  // namespace lmk

@@ -4,8 +4,12 @@
 
 namespace lmk {
 
-void EventQueue::push(SimTime at, EventFn fn) {
-  heap_.push(Entry{at, next_seq_++, std::move(fn)});
+void EventQueue::push(SimTime at, EventFn fn, std::uint64_t actor) {
+  // The tie key is fixed at push time so the comparator stays stateless:
+  // ascending seq gives FIFO, ascending ~seq gives reverse order.
+  std::uint64_t seq = next_seq_++;
+  std::uint64_t tie = mode_ == TieBreak::kFifo ? seq : ~seq;
+  heap_.push(Entry{at, tie, actor, std::move(fn)});
 }
 
 SimTime EventQueue::next_time() const {
@@ -19,6 +23,7 @@ EventFn EventQueue::pop(SimTime* at) {
   // immediately after.
   Entry top = std::move(const_cast<Entry&>(heap_.top()));
   heap_.pop();
+  note_pop(top.at, top.actor);
   if (at != nullptr) *at = top.at;
   return std::move(top.fn);
 }
@@ -26,6 +31,37 @@ EventFn EventQueue::pop(SimTime* at) {
 void EventQueue::clear() {
   while (!heap_.empty()) heap_.pop();
   next_seq_ = 0;
+  flush_tie_group();
+}
+
+void EventQueue::set_tie_break(TieBreak mode) {
+  LMK_CHECK(heap_.empty());
+  mode_ = mode;
+}
+
+TieStats EventQueue::tie_stats() {
+  flush_tie_group();
+  return stats_;
+}
+
+void EventQueue::note_pop(SimTime at, std::uint64_t actor) {
+  if (at != group_at_) {
+    flush_tie_group();
+    group_at_ = at;
+  }
+  if (actor != kNoActor) ++group_actors_[actor];
+}
+
+void EventQueue::flush_tie_group() {
+  for (const auto& [actor, count] : group_actors_) {
+    (void)actor;
+    if (count >= 2) {
+      ++stats_.groups;
+      stats_.events += count;
+    }
+  }
+  group_actors_.clear();
+  group_at_ = -1;
 }
 
 }  // namespace lmk

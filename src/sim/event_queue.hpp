@@ -3,10 +3,19 @@
 // Ties are broken by insertion sequence number so that two events
 // scheduled for the same instant run in schedule order — this makes the
 // whole simulation deterministic, which the reproduction relies on.
+//
+// For the audit subsystem the queue additionally supports:
+//  - a perturbed (but still deterministic) tie-break mode, used by the
+//    event-tie race detector to re-run a scenario with same-timestamp
+//    events reversed and compare per-node state digests;
+//  - an optional per-event actor tag (the node/host the event acts on),
+//    so the queue can record same-(timestamp, actor) tie groups — the
+//    places where tie-break order could matter at all.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <queue>
 #include <vector>
 
@@ -17,11 +26,32 @@ namespace lmk {
 /// Callback invoked when an event fires.
 using EventFn = std::function<void()>;
 
-/// Min-heap of (time, seq) ordered events.
+/// Actor tag for events not attributed to any node.
+inline constexpr std::uint64_t kNoActor = ~std::uint64_t{0};
+
+/// How same-timestamp events are ordered. Both modes are fully
+/// deterministic; kReversed exists only to perturb tie order for the
+/// race detector.
+enum class TieBreak : std::uint8_t {
+  kFifo,      // insertion order (the default)
+  kReversed,  // reverse insertion order among equal timestamps
+};
+
+/// Counters over same-(timestamp, actor) event groups observed at pop
+/// time. A "group" is >= 2 events sharing both the timestamp and a
+/// non-kNoActor actor tag — exactly the events whose relative order is
+/// decided by the tie-break policy rather than by virtual time.
+struct TieStats {
+  std::uint64_t groups = 0;  // distinct (timestamp, actor) groups
+  std::uint64_t events = 0;  // events inside those groups
+};
+
+/// Min-heap of (time, tie-key) ordered events.
 class EventQueue {
  public:
-  /// Enqueue `fn` to run at absolute time `at`.
-  void push(SimTime at, EventFn fn);
+  /// Enqueue `fn` to run at absolute time `at`. `actor` optionally names
+  /// the node/host the event acts on (for tie-group accounting).
+  void push(SimTime at, EventFn fn, std::uint64_t actor = kNoActor);
 
   /// True when no events remain.
   [[nodiscard]] bool empty() const { return heap_.empty(); }
@@ -38,20 +68,42 @@ class EventQueue {
   /// Drop all pending events.
   void clear();
 
+  /// Select the tie-break policy. Must be called while the queue is
+  /// empty (changing the order of already-heaped entries would corrupt
+  /// the heap invariant).
+  void set_tie_break(TieBreak mode);
+
+  [[nodiscard]] TieBreak tie_break() const { return mode_; }
+
+  /// Tie-group counters accumulated so far. Flushes the group forming
+  /// at the current head timestamp, so call at quiescence for exact
+  /// totals (mid-timestamp calls may split one group into two).
+  TieStats tie_stats();
+
  private:
   struct Entry {
     SimTime at;
-    std::uint64_t seq;
+    std::uint64_t tie;  // seq (kFifo) or ~seq (kReversed)
+    std::uint64_t actor;
     EventFn fn;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
+      return a.tie > b.tie;
     }
   };
+
+  void note_pop(SimTime at, std::uint64_t actor);
+  void flush_tie_group();
+
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
   std::uint64_t next_seq_ = 0;
+  TieBreak mode_ = TieBreak::kFifo;
+  TieStats stats_;
+  // Actor multiplicities among events popped at the head timestamp.
+  SimTime group_at_ = -1;
+  std::map<std::uint64_t, std::uint64_t> group_actors_;
 };
 
 }  // namespace lmk

@@ -21,7 +21,9 @@ void Network::send(HostId from, HostId to, std::uint64_t bytes,
     delay += static_cast<SimTime>(static_cast<double>(delay) * jitter_ *
                                   jitter_rng_.uniform());
   }
-  sim_.schedule_after(delay, std::move(handler));
+  // Tag the delivery with the destination host so the event queue can
+  // record same-(timestamp, node) tie groups for the race detector.
+  sim_.schedule_after(delay, std::move(handler), to);
 }
 
 }  // namespace lmk

@@ -1,17 +1,20 @@
 #include "sim/simulator.hpp"
 
+#include <utility>
+
 #include "common/check.hpp"
 
 namespace lmk {
 
-void Simulator::schedule_after(SimTime delay, EventFn fn) {
+void Simulator::schedule_after(SimTime delay, EventFn fn,
+                               std::uint64_t actor) {
   LMK_CHECK(delay >= 0);
-  queue_.push(now_ + delay, std::move(fn));
+  queue_.push(now_ + delay, std::move(fn), actor);
 }
 
-void Simulator::schedule_at(SimTime at, EventFn fn) {
+void Simulator::schedule_at(SimTime at, EventFn fn, std::uint64_t actor) {
   LMK_CHECK(at >= now_);
-  queue_.push(at, std::move(fn));
+  queue_.push(at, std::move(fn), actor);
 }
 
 std::uint64_t Simulator::run(std::uint64_t limit) {
@@ -23,8 +26,12 @@ std::uint64_t Simulator::run(std::uint64_t limit) {
     now_ = at;
     fn();
     ++n;
+    maybe_audit();
   }
   executed_ += n;
+  // Quiescence audit: the queue drained (as opposed to hitting `limit`),
+  // so the global state is stable and safe to inspect.
+  if (n > 0 && queue_.empty()) audit_now();
   return n;
 }
 
@@ -37,10 +44,40 @@ std::uint64_t Simulator::run_until(SimTime until) {
     now_ = at;
     fn();
     ++n;
+    maybe_audit();
   }
   now_ = until;
   executed_ += n;
   return n;
+}
+
+void Simulator::set_audit(SimTime cadence, AuditHook hook) {
+  LMK_CHECK(cadence >= 0);
+  audit_cadence_ = cadence;
+  audit_hook_ = std::move(hook);
+  if (audit_cadence_ > 0) {
+    next_audit_ = (now_ / audit_cadence_ + 1) * audit_cadence_;
+  }
+}
+
+void Simulator::maybe_audit() {
+  if (!audit_hook_ || audit_cadence_ <= 0 || in_audit_) return;
+  while (now_ >= next_audit_) {
+    audit_now();
+    next_audit_ += audit_cadence_;
+  }
+}
+
+void Simulator::audit_now() {
+  if (!audit_hook_ || in_audit_) return;
+  in_audit_ = true;
+  std::size_t before = queue_.size();
+  audit_hook_(now_);
+  // The hook is a passive observer; scheduling from inside it would
+  // perturb the very execution it is meant to validate.
+  LMK_CHECK(queue_.size() == before);
+  in_audit_ = false;
+  ++audits_fired_;
 }
 
 }  // namespace lmk

@@ -4,6 +4,11 @@
 // queue, and helpers to schedule work at relative or absolute times.
 // Protocol code never blocks; everything is continuation-passing via
 // scheduled callbacks.
+//
+// The simulator can host a single audit hook (src/audit/): a passive
+// observer invoked on a configurable virtual-time cadence while events
+// run, and once more at quiescence (when the queue drains). The hook
+// must not schedule events — it is a read-only inspection point.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +18,9 @@
 
 namespace lmk {
 
+/// Passive observer invoked with the current virtual time.
+using AuditHook = std::function<void(SimTime)>;
+
 /// Virtual-time event loop.
 class Simulator {
  public:
@@ -20,10 +28,13 @@ class Simulator {
   [[nodiscard]] SimTime now() const { return now_; }
 
   /// Schedule `fn` to run `delay` microseconds from now (delay >= 0).
-  void schedule_after(SimTime delay, EventFn fn);
+  /// `actor` optionally names the node/host the event acts on; the
+  /// event queue uses it to record same-(timestamp, actor) tie groups.
+  void schedule_after(SimTime delay, EventFn fn,
+                      std::uint64_t actor = kNoActor);
 
   /// Schedule `fn` at absolute virtual time `at` (must not be in the past).
-  void schedule_at(SimTime at, EventFn fn);
+  void schedule_at(SimTime at, EventFn fn, std::uint64_t actor = kNoActor);
 
   /// Run events until the queue drains or `limit` events have fired.
   /// Returns the number of events executed.
@@ -43,10 +54,34 @@ class Simulator {
   /// Drop all pending events (used between experiment phases).
   void drain() { queue_.clear(); }
 
+  /// Install the audit hook. With cadence > 0 the hook fires whenever
+  /// virtual time crosses a multiple of `cadence` during run()/run_until(),
+  /// and always once more when run() drains the queue (quiescence).
+  /// Cadence 0 audits only at quiescence. Passing a null hook uninstalls.
+  void set_audit(SimTime cadence, AuditHook hook);
+
+  /// Number of times the audit hook has fired.
+  [[nodiscard]] std::uint64_t audits_fired() const { return audits_fired_; }
+
+  /// Tie-break policy for same-timestamp events (race detector probe).
+  /// Only valid while no events are pending.
+  void set_tie_break(TieBreak mode) { queue_.set_tie_break(mode); }
+
+  /// Same-(timestamp, actor) tie-group counters from the event queue.
+  [[nodiscard]] TieStats tie_stats() { return queue_.tie_stats(); }
+
  private:
+  void maybe_audit();
+  void audit_now();
+
   EventQueue queue_;
   SimTime now_ = 0;
   std::uint64_t executed_ = 0;
+  AuditHook audit_hook_;
+  SimTime audit_cadence_ = 0;
+  SimTime next_audit_ = 0;
+  std::uint64_t audits_fired_ = 0;
+  bool in_audit_ = false;
 };
 
 }  // namespace lmk

@@ -1,0 +1,369 @@
+// The invariant auditor (src/audit/): a healthy network passes every
+// checker, and each checker family catches an injected protocol fault —
+// mutation tests that pin both the detection and the diagnostics (the
+// violation must name the offending node, the virtual time, and the
+// violated invariant). Also covers the event-tie race detector.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "audit/auditor.hpp"
+#include "audit/race.hpp"
+#include "core/index_platform.hpp"
+#include "landmark/mapper.hpp"
+
+namespace lmk {
+namespace {
+
+using audit::AuditReport;
+using audit::Violation;
+
+/// Full stack (sim → ring → platform) with one 2-d scheme bulk-loaded
+/// with seeded uniform points — the "healthy network" every mutation
+/// test starts from.
+struct AuditStack {
+  AuditStack(std::size_t hosts, std::uint64_t seed, std::size_t objects = 240)
+      : topo(hosts, 12 * kMillisecond), net(sim, topo) {
+    Ring::Options ropts;
+    ropts.seed = seed;
+    ring = std::make_unique<Ring>(net, ropts);
+    for (HostId h = 0; h < hosts; ++h) ring->create_node(h);
+    ring->bootstrap();
+    platform = std::make_unique<IndexPlatform>(*ring);
+    scheme = platform->register_scheme("audit-fixture",
+                                       uniform_boundary(2, 0.0, 1.0), false);
+    Rng points(seed ^ 0x9047);
+    for (std::size_t i = 0; i < objects; ++i) {
+      platform->insert(scheme, i, IndexPoint{points.uniform(),
+                                             points.uniform()});
+    }
+  }
+
+  [[nodiscard]] audit::Auditor make_auditor(
+      audit::Auditor::Options opts = {}) {
+    audit::Auditor auditor(*ring, platform.get(), opts);
+    auditor.install_standard_checkers();
+    auditor.capture_baseline();
+    return auditor;
+  }
+
+  /// First non-empty store in ring order (node index in alive_by_id).
+  [[nodiscard]] std::size_t loaded_node_index() {
+    auto nodes = audit::alive_by_id(*ring);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (!platform->store(*nodes[i], scheme).empty()) return i;
+    }
+    ADD_FAILURE() << "no node holds any entry";
+    return 0;
+  }
+
+  Simulator sim;
+  ConstantLatencyModel topo;
+  Network net;
+  std::unique_ptr<Ring> ring;
+  std::unique_ptr<IndexPlatform> platform;
+  std::uint32_t scheme = 0;
+};
+
+const Violation* find_violation(const AuditReport& r,
+                                std::string_view invariant) {
+  auto it = std::find_if(r.violations.begin(), r.violations.end(),
+                         [invariant](const Violation& v) {
+                           return v.invariant == invariant;
+                         });
+  return it == r.violations.end() ? nullptr : &*it;
+}
+
+// ----- healthy network -----
+
+TEST(Auditor, HealthyNetworkPassesAllCheckers) {
+  AuditStack s(24, 11);
+  audit::Auditor auditor = s.make_auditor();
+  AuditReport report = auditor.run_once();
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_GT(report.checks, 0u);
+  EXPECT_EQ(auditor.audits_run(), 1u);
+  EXPECT_TRUE(auditor.accumulated().ok());
+}
+
+TEST(Auditor, HealthyNetworkAnswersSampledQueriesExactly) {
+  AuditStack s(24, 12);
+  audit::Auditor auditor = s.make_auditor();
+  AuditReport report = auditor.audit_queries(s.scheme, 4);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.checks, 4u);
+}
+
+TEST(Auditor, AttachedHookFiresOnCadenceAndAtQuiescence) {
+  AuditStack s(16, 13, 60);
+  audit::Auditor::Options opts;
+  opts.cadence = 10 * kSecond;
+  audit::Auditor auditor(*s.ring, s.platform.get(), opts);
+  auditor.install_standard_checkers();
+  auditor.capture_baseline();
+  auditor.attach();
+  for (SimTime t : {5 * kSecond, 15 * kSecond, 25 * kSecond}) {
+    s.sim.schedule_at(t, [] {});
+  }
+  s.sim.run();
+  // Crossings at 10s and 20s, plus the quiescence pass.
+  EXPECT_EQ(s.sim.audits_fired(), 3u);
+  EXPECT_EQ(auditor.audits_run(), 3u);
+  EXPECT_TRUE(auditor.accumulated().ok()) << auditor.accumulated().summary();
+  // An empty run() triggers no extra quiescence audit.
+  s.sim.run();
+  EXPECT_EQ(auditor.audits_run(), 3u);
+}
+
+// ----- mutation: ring integrity -----
+
+TEST(AuditorMutation, CorruptedSuccessorIsDetected) {
+  AuditStack s(24, 21);
+  audit::Auditor auditor = s.make_auditor();
+  auto nodes = audit::alive_by_id(*s.ring);
+  ChordNode* victim = nodes[0];
+  ChordNode* wrong = nodes[2];  // skips the true successor nodes[1]
+  victim->set_successors({NodeRef{wrong, wrong->id()}});
+
+  AuditReport report = auditor.run_once();
+  ASSERT_FALSE(report.ok());
+  const Violation* v = find_violation(report, "ring/successor");
+  ASSERT_NE(v, nullptr) << report.summary();
+  EXPECT_TRUE(v->node_known);
+  EXPECT_EQ(v->node, victim->id());
+  EXPECT_EQ(v->at, s.sim.now());
+  // The diagnostic names both the bogus and the expected successor.
+  EXPECT_NE(v->detail.find(audit::strformat(
+                "%016llx", static_cast<unsigned long long>(nodes[1]->id()))),
+            std::string::npos)
+      << v->to_string();
+  EXPECT_NE(find_violation(report, "ring/successor-list"), nullptr);
+}
+
+TEST(AuditorMutation, CorruptedPredecessorIsDetected) {
+  AuditStack s(24, 22);
+  audit::Auditor auditor = s.make_auditor();
+  auto nodes = audit::alive_by_id(*s.ring);
+  ChordNode* victim = nodes[5];
+  victim->set_predecessor(nodes[3]->self_ref());  // two back: arc overlap
+
+  AuditReport report = auditor.run_once();
+  const Violation* ring_v = find_violation(report, "ring/predecessor");
+  ASSERT_NE(ring_v, nullptr) << report.summary();
+  EXPECT_EQ(ring_v->node, victim->id());
+  const Violation* arc_v = find_violation(report, "partition/arc-overlap");
+  ASSERT_NE(arc_v, nullptr) << report.summary();
+  EXPECT_EQ(arc_v->node, victim->id());
+}
+
+TEST(AuditorMutation, UnrepairedCrashLeavesStaleStateDetected) {
+  AuditStack s(24, 23);
+  audit::Auditor auditor = s.make_auditor();
+  auto nodes = audit::alive_by_id(*s.ring);
+  // fail() deliberately repairs nothing: the successor's predecessor
+  // ref goes stale (partition/arc: the arc has no live lower bound) and
+  // the dead node's entries drop out of the multiset.
+  s.ring->fail(*nodes[7]);
+
+  AuditReport report = auditor.run_once();
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(find_violation(report, "partition/arc"), nullptr)
+      << report.summary();
+}
+
+// ----- mutation: partition / placement -----
+
+TEST(AuditorMutation, MisplacedEntryIsDetected) {
+  AuditStack s(24, 31);
+  audit::Auditor auditor = s.make_auditor();
+  auto nodes = audit::alive_by_id(*s.ring);
+  std::size_t from = s.loaded_node_index();
+  std::size_t to = (from + nodes.size() / 2) % nodes.size();
+  auto& src = s.platform->mutable_store(*nodes[from], s.scheme);
+  auto& dst = s.platform->mutable_store(*nodes[to], s.scheme);
+  dst.push_back(src.back());
+  src.pop_back();
+
+  AuditReport report = auditor.run_once();
+  const Violation* v = find_violation(report, "partition/entry-misplaced");
+  ASSERT_NE(v, nullptr) << report.summary();
+  EXPECT_EQ(v->node, nodes[to]->id());
+  EXPECT_EQ(v->at, s.sim.now());
+  // Conservation is intact: the entry still exists exactly once.
+  EXPECT_EQ(find_violation(report, "conservation/lost"), nullptr);
+  EXPECT_EQ(find_violation(report, "conservation/duplicated"), nullptr);
+}
+
+TEST(AuditorMutation, CorruptedPlacementKeyIsDetected) {
+  AuditStack s(24, 32);
+  audit::Auditor auditor = s.make_auditor();
+  auto nodes = audit::alive_by_id(*s.ring);
+  ChordNode* holder = nodes[s.loaded_node_index()];
+  s.platform->mutable_store(*holder, s.scheme).front().key += 1;
+
+  AuditReport report = auditor.run_once();
+  const Violation* v = find_violation(report, "partition/entry-key");
+  ASSERT_NE(v, nullptr) << report.summary();
+  EXPECT_EQ(v->node, holder->id());
+}
+
+// ----- mutation: conservation -----
+
+TEST(AuditorMutation, DroppedEntryIsReportedAsLost) {
+  AuditStack s(24, 41);
+  audit::Auditor auditor = s.make_auditor();
+  auto nodes = audit::alive_by_id(*s.ring);
+  ChordNode* holder = nodes[s.loaded_node_index()];
+  auto& store = s.platform->mutable_store(*holder, s.scheme);
+  std::uint64_t dropped = store.front().object;
+  store.erase(store.begin());
+
+  AuditReport report = auditor.run_once();
+  const Violation* v = find_violation(report, "conservation/lost");
+  ASSERT_NE(v, nullptr) << report.summary();
+  EXPECT_NE(v->detail.find(std::to_string(dropped)), std::string::npos)
+      << v->to_string();
+}
+
+TEST(AuditorMutation, DuplicatedEntryIsReported) {
+  AuditStack s(24, 42);
+  audit::Auditor auditor = s.make_auditor();
+  auto nodes = audit::alive_by_id(*s.ring);
+  ChordNode* holder = nodes[s.loaded_node_index()];
+  auto& store = s.platform->mutable_store(*holder, s.scheme);
+  store.push_back(store.front());  // same owner: placement stays legal
+
+  AuditReport report = auditor.run_once();
+  const Violation* v = find_violation(report, "conservation/duplicated");
+  ASSERT_NE(v, nullptr) << report.summary();
+  EXPECT_EQ(find_violation(report, "partition/entry-misplaced"), nullptr);
+}
+
+// ----- mutation: query completeness -----
+
+TEST(AuditorMutation, HoardedEntriesMakeSampledQueriesIncomplete) {
+  AuditStack s(24, 51);
+  audit::Auditor auditor = s.make_auditor();
+  auto nodes = audit::alive_by_id(*s.ring);
+  // Move every other node's entries onto one hoarder, behind the
+  // router's back: the oracle still sees them, routed subqueries ask
+  // the true owners and come back empty.
+  ChordNode* hoarder = nodes[0];
+  auto& hoard = s.platform->mutable_store(*hoarder, s.scheme);
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    auto& store = s.platform->mutable_store(*nodes[i], s.scheme);
+    hoard.insert(hoard.end(), store.begin(), store.end());
+    store.clear();
+  }
+
+  AuditReport report = auditor.audit_queries(s.scheme, 6);
+  const Violation* v = find_violation(report, "query/missing-result");
+  ASSERT_NE(v, nullptr) << report.summary();
+  EXPECT_NE(v->detail.find("object"), std::string::npos);
+  // Stamped with the virtual time the failing sample completed at.
+  EXPECT_GT(v->at, 0);
+  EXPECT_LE(v->at, s.sim.now());
+}
+
+// ----- fail-fast & reporting -----
+
+TEST(Auditor, FailFastAbortsOnViolation) {
+  AuditStack s(16, 61);
+  audit::Auditor::Options opts;
+  opts.fail_fast = true;
+  audit::Auditor auditor(*s.ring, s.platform.get(), opts);
+  auditor.install_standard_checkers();
+  auditor.capture_baseline();
+  auto nodes = audit::alive_by_id(*s.ring);
+  nodes[0]->set_successors({NodeRef{nodes[2], nodes[2]->id()}});
+  EXPECT_DEATH(auditor.run_once(), "ring/successor");
+}
+
+TEST(Auditor, ViolationToStringNamesInvariantNodeAndTime) {
+  Violation v{"ring/successor", 0xabcdULL, true, 42 * kSecond, "detail text"};
+  std::string text = v.to_string();
+  EXPECT_NE(text.find("[ring/successor]"), std::string::npos);
+  EXPECT_NE(text.find("000000000000abcd"), std::string::npos);
+  EXPECT_NE(text.find("t=42000000"), std::string::npos);
+  EXPECT_NE(text.find("detail text"), std::string::npos);
+}
+
+// ----- event-tie race detector -----
+
+TEST(RaceDetector, FlagsOrderDependentTiedEvents) {
+  auto scenario = [](TieBreak mode, TieStats* stats) {
+    Simulator sim;
+    sim.set_tie_break(mode);
+    std::uint64_t value = 1;
+    // Same instant, same actor, non-commutative effects: a model race.
+    sim.schedule_at(10, [&value] { value = value * 3; }, 7);
+    sim.schedule_at(10, [&value] { value = value + 5; }, 7);
+    sim.run();
+    if (stats != nullptr) *stats = sim.tie_stats();
+    return std::vector<audit::NodeDigest>{{7, value}};
+  };
+  audit::RaceReport report = audit::detect_event_tie_races(scenario);
+  EXPECT_TRUE(report.diverged);
+  ASSERT_EQ(report.divergent_nodes.size(), 1u);
+  EXPECT_EQ(report.divergent_nodes[0], 7u);
+  EXPECT_EQ(report.ties.groups, 1u);
+  EXPECT_EQ(report.ties.events, 2u);
+  EXPECT_NE(report.to_string().find("0000000000000007"), std::string::npos);
+}
+
+TEST(RaceDetector, CommutativeTiedEventsDoNotDiverge) {
+  auto scenario = [](TieBreak mode, TieStats* stats) {
+    Simulator sim;
+    sim.set_tie_break(mode);
+    std::uint64_t value = 0;
+    sim.schedule_at(10, [&value] { value += 1; }, 7);
+    sim.schedule_at(10, [&value] { value += 2; }, 7);
+    // Ties on different actors (or untagged events) are not a group.
+    sim.schedule_at(10, [] {}, 8);
+    sim.schedule_at(10, [] {});
+    sim.run();
+    if (stats != nullptr) *stats = sim.tie_stats();
+    return std::vector<audit::NodeDigest>{{7, value}};
+  };
+  audit::RaceReport report = audit::detect_event_tie_races(scenario);
+  EXPECT_FALSE(report.diverged) << report.to_string();
+  EXPECT_TRUE(report.divergent_nodes.empty());
+  EXPECT_EQ(report.ties.groups, 1u);
+  EXPECT_EQ(report.ties.events, 2u);
+}
+
+TEST(RaceDetector, MissingNodeCountsAsDivergence) {
+  auto scenario = [](TieBreak mode, TieStats*) {
+    std::vector<audit::NodeDigest> digests{{1, 100}, {2, 200}};
+    if (mode == TieBreak::kReversed) digests.pop_back();
+    return digests;
+  };
+  audit::RaceReport report = audit::detect_event_tie_races(scenario);
+  EXPECT_TRUE(report.diverged);
+  ASSERT_EQ(report.divergent_nodes.size(), 1u);
+  EXPECT_EQ(report.divergent_nodes[0], 2u);
+}
+
+TEST(RaceDetector, WholeNetworkQueryScenarioIsTieOrderIndependent) {
+  auto scenario = [](TieBreak mode, TieStats* stats) {
+    AuditStack s(16, 71, 120);
+    s.sim.set_tie_break(mode);
+    auto nodes = audit::alive_by_id(*s.ring);
+    for (std::size_t q = 0; q < 4; ++q) {
+      IndexPoint center{0.2 + 0.15 * static_cast<double>(q), 0.5};
+      s.platform->range_query(*nodes[q], s.scheme, center, 0.1,
+                              ReplyMode::kAllMatches,
+                              [](const IndexPlatform::QueryOutcome&) {});
+    }
+    s.sim.run();
+    if (stats != nullptr) *stats = s.sim.tie_stats();
+    return audit::network_digests(*s.ring, s.platform.get());
+  };
+  audit::RaceReport report = audit::detect_event_tie_races(scenario);
+  EXPECT_FALSE(report.diverged) << report.to_string();
+}
+
+}  // namespace
+}  // namespace lmk

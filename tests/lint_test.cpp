@@ -33,17 +33,32 @@ TEST(BannedSource, FlagsRandomDevice) {
   EXPECT_EQ(fs[0].line, 1);
 }
 
-TEST(BannedSource, FlagsWallClocks) {
+TEST(WallClock, FlagsChronoClocks) {
   EXPECT_TRUE(has_rule(
       lint_source("a.cpp", "auto t = std::chrono::steady_clock::now();\n"),
-      "banned-source"));
+      "wall-clock"));
   EXPECT_TRUE(has_rule(
       lint_source("a.cpp", "auto t = std::chrono::system_clock::now();\n"),
-      "banned-source"));
+      "wall-clock"));
   EXPECT_TRUE(has_rule(
       lint_source("a.cpp",
                   "auto t = std::chrono::high_resolution_clock::now();\n"),
-      "banned-source"));
+      "wall-clock"));
+}
+
+TEST(WallClock, FlagsPosixClockReads) {
+  EXPECT_TRUE(has_rule(
+      lint_source("a.cpp", "clock_gettime(CLOCK_MONOTONIC, &ts);\n"),
+      "wall-clock"));
+  EXPECT_TRUE(has_rule(lint_source("a.cpp", "gettimeofday(&tv, nullptr);\n"),
+                       "wall-clock"));
+}
+
+TEST(WallClock, SimilarIdentifiersAreFine) {
+  // clockwise_distance (src/common/ring_math.hpp) contains "clock" but
+  // is not a clock token.
+  EXPECT_TRUE(
+      lint_source("a.cpp", "Id d = clockwise_distance(a, b);\n").empty());
 }
 
 TEST(BannedSource, FlagsCStyleCalls) {
@@ -93,7 +108,7 @@ TEST(BannedSource, RngModuleIsExempt) {
   EXPECT_TRUE(fs.empty());
 }
 
-TEST(BannedSource, BenchMayReadWallClocksButNotEntropy) {
+TEST(WallClock, BenchMayReadWallClocksButNotEntropy) {
   FileOptions opts;
   opts.bench = true;
   EXPECT_TRUE(lint_source("bench/bench_perf.cpp",
@@ -105,11 +120,50 @@ TEST(BannedSource, BenchMayReadWallClocksButNotEntropy) {
                        "banned-source"));
 }
 
-TEST(BannedSource, AllowCommentSuppresses) {
+TEST(WallClock, AllowCommentSuppresses) {
   auto fs = lint_source(
       "a.cpp",
-      "// lmk-lint: allow(banned-source) startup banner only\n"
+      "// lmk-lint: allow(wall-clock) startup banner only\n"
       "auto t = std::chrono::system_clock::now();\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+// ----- banned-abort -----
+
+TEST(BannedAbort, FlagsDirectTerminationCalls) {
+  EXPECT_TRUE(has_rule(lint_source("a.cpp", "if (bad) std::abort();\n"),
+                       "banned-abort"));
+  EXPECT_TRUE(has_rule(lint_source("a.cpp", "std::exit(1);\n"),
+                       "banned-abort"));
+  EXPECT_TRUE(has_rule(lint_source("a.cpp", "abort();\n"), "banned-abort"));
+  EXPECT_TRUE(has_rule(lint_source("a.cpp", "quick_exit(0);\n"),
+                       "banned-abort"));
+}
+
+TEST(BannedAbort, CheckModuleIsExempt) {
+  FileOptions opts;
+  opts.check_module = true;
+  EXPECT_TRUE(lint_source("src/common/check.hpp",
+                          "  std::abort();\n", opts)
+                  .empty());
+}
+
+TEST(BannedAbort, SimilarIdentifiersAndMembersAreFine) {
+  // on_exit_requested( is its own identifier; tx.abort() is a member
+  // call on whatever tx is; `exit` without a call is a plain name.
+  auto fs = lint_source("a.cpp",
+                        "void on_exit_requested(int);\n"
+                        "tx.abort();\n"
+                        "handler->exit();\n"
+                        "bool exit_flag = false; (void)exit_flag;\n");
+  EXPECT_TRUE(fs.empty()) << fs.size() << " findings, first: "
+                          << (fs.empty() ? "" : fs[0].message);
+}
+
+TEST(BannedAbort, AllowCommentSuppresses) {
+  auto fs = lint_source(
+      "a.cpp",
+      "std::abort();  // lmk-lint: allow(banned-abort) fuzzer entry\n");
   EXPECT_TRUE(fs.empty());
 }
 

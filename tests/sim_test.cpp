@@ -1,8 +1,11 @@
 // Tests for the discrete-event simulator and the network layer.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "net/king_loader.hpp"
 #include "net/latency_model.hpp"
 #include "sim/network.hpp"
@@ -269,6 +272,101 @@ TEST(Network, ConcurrentMessagesKeepOrderPerLatency) {
   net.send(0, 1, 1, [&] { order.push_back(1); });  // 10us away
   sim.run();
   EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+// ----- tie-order properties (audit/race-detector substrate) -----
+
+// Property: under the FIFO policy, same-timestamp events always pop in
+// insertion order, for any interleaving of pushes and pops — and the
+// whole pop sequence is identical across re-runs. The model is a
+// reference "pop the (time, seq)-minimum" simulation.
+TEST(EventQueue, PropertyFifoTieOrderMatchesModelAcrossSeeds) {
+  for (std::uint64_t seed : {1ull, 7ull, 1234ull, 0xdecafull}) {
+    std::vector<int> first_run;
+    for (int rerun = 0; rerun < 2; ++rerun) {
+      Rng rng(seed);
+      EventQueue q;
+      std::vector<int> fired;
+      std::vector<std::pair<SimTime, int>> model;  // (time, id) pending
+      int next_id = 0;
+      SimTime floor = 0;  // pops advance time; later pushes respect it
+      for (int step = 0; step < 300; ++step) {
+        bool push = q.empty() || rng.below(3) != 0;
+        if (push) {
+          // Few distinct timestamps on purpose: lots of ties.
+          SimTime t = floor + static_cast<SimTime>(10 * rng.below(4));
+          int id = next_id++;
+          q.push(t, [&fired, id] { fired.push_back(id); },
+                 /*actor=*/rng.below(4));
+          model.emplace_back(t, id);
+        } else {
+          SimTime at = 0;
+          q.pop(&at)();
+          floor = at;
+          // Model pop: earliest time, then lowest id (insertion order).
+          auto it = std::min_element(model.begin(), model.end());
+          ASSERT_EQ(it->first, at);
+          ASSERT_EQ(it->second, fired.back());
+          model.erase(it);
+        }
+      }
+      while (!q.empty()) {
+        q.pop(nullptr)();
+        auto it = std::min_element(model.begin(), model.end());
+        ASSERT_EQ(it->second, fired.back());
+        model.erase(it);
+      }
+      if (rerun == 0) {
+        first_run = fired;
+      } else {
+        EXPECT_EQ(fired, first_run) << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(EventQueue, ReversedTieBreakReversesOnlySameTimestampEvents) {
+  EventQueue q;
+  q.set_tie_break(TieBreak::kReversed);
+  std::vector<int> fired;
+  q.push(3, [&] { fired.push_back(-1); });
+  for (int i = 0; i < 5; ++i) {
+    q.push(7, [&fired, i] { fired.push_back(i); });
+  }
+  q.push(9, [&] { fired.push_back(-2); });
+  while (!q.empty()) q.pop(nullptr)();
+  EXPECT_EQ(fired, (std::vector<int>{-1, 4, 3, 2, 1, 0, -2}));
+}
+
+TEST(EventQueue, TieStatsCountSameTimestampSameActorGroups) {
+  EventQueue q;
+  // t=5: actor 1 twice (a group), actor 2 once, one untagged event.
+  q.push(5, [] {}, 1);
+  q.push(5, [] {}, 1);
+  q.push(5, [] {}, 2);
+  q.push(5, [] {});
+  // t=6: actor 1 three times (a second group).
+  q.push(6, [] {}, 1);
+  q.push(6, [] {}, 1);
+  q.push(6, [] {}, 1);
+  while (!q.empty()) q.pop(nullptr)();
+  TieStats stats = q.tie_stats();
+  EXPECT_EQ(stats.groups, 2u);
+  EXPECT_EQ(stats.events, 5u);
+}
+
+TEST(Simulator, AuditHookFiresOnCadenceCrossingsAndQuiescence) {
+  Simulator sim;
+  std::vector<SimTime> audited;
+  sim.set_audit(100, [&](SimTime t) { audited.push_back(t); });
+  for (SimTime t : {50, 150, 340}) sim.schedule_at(t, [] {});
+  sim.run();
+  // Crossing t=100 observed at the 150us event, 200 and 300 at the
+  // 340us event, plus the quiescence pass at 340.
+  EXPECT_EQ(audited, (std::vector<SimTime>{150, 340, 340, 340}));
+  EXPECT_EQ(sim.audits_fired(), 4u);
+  sim.run();  // nothing ran: no extra quiescence audit
+  EXPECT_EQ(sim.audits_fired(), 4u);
 }
 
 }  // namespace

@@ -236,28 +236,21 @@ std::vector<Finding> lint_source(std::string_view path,
         Finding{std::string(path), line, std::string(rule), std::move(message)});
   };
 
-  // --- banned-source: wall clocks and environment-seeded randomness ---
+  // --- banned-source: environment-seeded randomness ---
   if (!opts.rng_module) {
-    // Tokens banned anywhere they appear.
-    static constexpr std::array<std::string_view, 12> kPlain = {
-        "random_device", "system_clock", "steady_clock",
-        "high_resolution_clock", "clock_gettime", "gettimeofday",
-        "timespec_get", "mt19937", "mt19937_64", "minstd_rand",
-        "default_random_engine", "getrandom"};
+    // Tokens banned anywhere they appear (even in the bench harness).
+    static constexpr std::array<std::string_view, 6> kPlain = {
+        "random_device", "mt19937",     "mt19937_64",
+        "minstd_rand",   "default_random_engine", "getrandom"};
     for (std::string_view tok : kPlain) {
-      // Wall clocks are fine in the bench harness (throughput timing);
-      // unseeded RNG sources are banned even there.
-      bool clock_token = tok.find("clock") != std::string_view::npos ||
-                         tok == "gettimeofday" || tok == "timespec_get";
-      if (opts.bench && clock_token) continue;
       std::size_t pos = 0;
       while ((pos = find_token(stripped, tok, pos)) !=
              std::string_view::npos) {
         report(pos, "banned-source",
                "'" + std::string(tok) +
-                   "' is a nondeterministic source; all randomness/time "
-                   "must flow from the seeded lmk::Rng / the simulator "
-                   "clock (src/common/rng)");
+                   "' is a nondeterministic source; all randomness "
+                   "must flow from the seeded lmk::Rng "
+                   "(src/common/rng)");
         pos += tok.size();
       }
     }
@@ -278,6 +271,56 @@ std::vector<Finding> lint_source(std::string_view path,
                  "call to '" + std::string(tok) +
                      "()' reads wall-clock/global state; use the seeded "
                      "lmk::Rng or Simulator::now() instead");
+        }
+        pos += tok.size();
+      }
+    }
+  }
+
+  // --- wall-clock: real-time reads inside simulated code ---
+  // The simulator is the only clock; a wall-clock read inside src/
+  // couples behavior (timeouts, sampling, logging cadence) to host
+  // speed and breaks bit-identical replay. The bench harness measures
+  // throughput and is exempt; the rng module keeps its blanket
+  // exemption (it wraps host sources behind the seeded Rng).
+  if (!opts.rng_module && !opts.bench) {
+    static constexpr std::array<std::string_view, 6> kClockTokens = {
+        "system_clock",  "steady_clock", "high_resolution_clock",
+        "clock_gettime", "gettimeofday", "timespec_get"};
+    for (std::string_view tok : kClockTokens) {
+      std::size_t pos = 0;
+      while ((pos = find_token(stripped, tok, pos)) !=
+             std::string_view::npos) {
+        report(pos, "wall-clock",
+               "'" + std::string(tok) +
+                   "' reads the host wall clock; simulated code must use "
+                   "the virtual clock (Simulator::now())");
+        pos += tok.size();
+      }
+    }
+  }
+
+  // --- banned-abort: process termination outside the check module ---
+  // Termination must route through LMK_CHECK / LMK_CHECK_MSG
+  // (src/common/check.hpp) so every fatal path prints expr/file/line
+  // diagnostics; a bare abort()/exit() dies silently mid-simulation.
+  if (!opts.check_module) {
+    static constexpr std::array<std::string_view, 4> kTerminators = {
+        "abort", "exit", "_Exit", "quick_exit"};
+    for (std::string_view tok : kTerminators) {
+      std::size_t pos = 0;
+      while ((pos = find_token(stripped, tok, pos)) !=
+             std::string_view::npos) {
+        std::size_t after = skip_ws(stripped, pos + tok.size());
+        bool member = pos >= 1 && (stripped[pos - 1] == '.' ||
+                                   (pos >= 2 && stripped[pos - 2] == '-' &&
+                                    stripped[pos - 1] == '>'));
+        if (!member && after < stripped.size() && stripped[after] == '(') {
+          report(pos, "banned-abort",
+                 "call to '" + std::string(tok) +
+                     "()' terminates the process without diagnostics; use "
+                     "LMK_CHECK / LMK_CHECK_MSG (src/common/check.hpp), "
+                     "the only module allowed to terminate");
         }
         pos += tok.size();
       }

@@ -2,14 +2,28 @@
 //
 // The reproduction's experimental claims rest on bit-identical,
 // seed-reproducible simulation runs (DESIGN.md "Correctness tooling").
-// This lint statically enforces the three repo rules that protect that
+// This lint statically enforces the repo rules that protect that
 // property:
 //
-//   banned-source        No wall-clock or environment-seeded randomness
-//                        (std::random_device, std::rand, time(),
-//                        system_clock, steady_clock, ...) outside
-//                        src/common/rng and the bench harness. All
-//                        randomness must flow from a seeded lmk::Rng.
+//   banned-source        No environment-seeded randomness
+//                        (std::random_device, std::rand, time(), ...)
+//                        outside src/common/rng and the bench harness.
+//                        All randomness must flow from a seeded
+//                        lmk::Rng.
+//
+//   wall-clock           No wall-clock reads (system_clock,
+//                        steady_clock, high_resolution_clock,
+//                        clock_gettime, gettimeofday, timespec_get) in
+//                        src/: simulated code must use the virtual
+//                        clock (Simulator::now()). The bench harness is
+//                        exempt (throughput timing).
+//
+//   banned-abort         No direct std::abort / std::exit / _Exit /
+//                        quick_exit call sites outside
+//                        src/common/check.hpp: process termination must
+//                        route through LMK_CHECK / LMK_CHECK_MSG so
+//                        every fatal path prints expr/file/line
+//                        diagnostics.
 //
 //   unordered-iteration  No iteration over std::unordered_map /
 //                        std::unordered_set: iteration order is
@@ -58,6 +72,9 @@ struct FileOptions {
   bool rng_module = false;
   /// Bench harness: allowed to read wall clocks for throughput timing.
   bool bench = false;
+  /// src/common/check.hpp: the one module allowed to terminate the
+  /// process (LMK_CHECK's [[noreturn]] failure paths call std::abort).
+  bool check_module = false;
   /// Companion-header text (X.hpp next to X.cpp): member variables are
   /// declared there, so its unordered-container declarations are folded
   /// into the iteration analysis of the .cpp.

@@ -31,6 +31,7 @@ lmk::lint::FileOptions options_for(const std::string& path) {
   opts.rng_module = path.find("common/rng") != std::string::npos;
   opts.bench = path.find("bench/") != std::string::npos ||
                path.rfind("bench_", 0) == 0;
+  opts.check_module = path.find("common/check.hpp") != std::string::npos;
   return opts;
 }
 
