@@ -43,6 +43,15 @@ mapfile -t files < <(find src tools -name '*.cpp' | sort)
 
 if [ "${1:-}" = "--changed" ]; then
   base="${2:-${TIDY_BASE_REF:-HEAD~1}}"
+  # An unresolvable base (shallow clone, missing remote ref) must be a
+  # hard failure: silently diffing nothing would skip the whole gate.
+  if ! git rev-parse --verify --quiet "$base^{commit}" >/dev/null; then
+    echo "tidy.sh: FAILED — base ref '$base' is not resolvable." >&2
+    echo "tidy.sh: in CI, check out with full history (actions/checkout" >&2
+    echo "tidy.sh: fetch-depth: 0); locally, fetch the ref or pass one" >&2
+    echo "tidy.sh: that exists (scripts/tidy.sh --changed REF)." >&2
+    exit 1
+  fi
   # merge-base comparison: changes on this branch only, not upstream's.
   if merge_base=$(git merge-base "$base" HEAD 2>/dev/null); then
     if [ "$merge_base" = "$(git rev-parse HEAD)" ]; then
@@ -51,6 +60,10 @@ if [ "${1:-}" = "--changed" ]; then
     else
       base="$merge_base"
     fi
+  else
+    echo "tidy.sh: FAILED — no merge base between '$base' and HEAD" >&2
+    echo "tidy.sh: (disjoint histories or shallow clone)." >&2
+    exit 1
   fi
   mapfile -t changed < <(git diff --name-only --diff-filter=ACMR "$base" -- \
     'src/*.cpp' 'src/*.hpp' 'src/*.h' 'src/*.hh' \

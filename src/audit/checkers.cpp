@@ -109,7 +109,11 @@ void RingChecker::check(const AuditContext& ctx, AuditReport* out) {
     for (int i = 0; i < kIdBits; ++i) {
       ++out->checks;
       Id start = node->finger_start(i);
-      Id end = node->id() + (Id{1} << (i + 1));  // == id when i == 63
+      // Interval end is id + 2^{i+1}; for the last finger 2^{kIdBits}
+      // wraps the full ring, i.e. end == id. Shifting by the full bit
+      // width is UB, so the span is spelled out as 0 for that case.
+      Id span = (i + 1 == kIdBits) ? Id{0} : (Id{1} << (i + 1));
+      Id end = node->id() + span;
       NodeRef f = node->finger_table()[static_cast<std::size_t>(i)];
       if (!f.valid()) {
         add(out, "ring/finger", ctx.now, node->id(), true,
