@@ -1,18 +1,26 @@
-// Offline-phase performance baseline: times the four phases every
-// figure/table bench pays for — brute-force k-NN oracle, landmark
-// selection, index build (mapping + bulk insert), and the simulated
-// query batch — and writes BENCH_perf.json (phase → seconds, plus the
-// thread counts used).
+// Performance baseline: times the offline phases every figure/table
+// bench pays for — brute-force k-NN oracle, landmark selection, index
+// build (mapping + bulk insert) — plus the *online* hot path (event
+// dispatch through the simulator, end-to-end query throughput, and
+// per-subquery candidate-scan counters), and writes BENCH_perf.json.
 //
 // The three offline phases run twice, with 1 thread and with the
 // configured pool width (LMK_THREADS, default = hardware concurrency),
-// so the JSON records the parallel speedup on this machine. The query
+// so the JSON records the parallel speedup on this machine. The online
 // phase is the discrete-event simulator: single-threaded by contract,
-// timed once. Outputs are checked to be identical across thread counts
-// before the file is written.
+// timed once:
+//   - engine_events_per_sec: a pure dispatch storm (self-rescheduling
+//     chains, LMK_ONLINE_EVENTS events) isolating the event queue;
+//   - sim_events_per_sec / queries_per_sec: the simulated query batch;
+//   - candidates/scanned per subquery: per-node local-solve cost.
+// When LMK_PERF_BASELINE names an earlier BENCH_perf.json (the
+// committed bench/BENCH_perf.baseline.json), its "online" section is
+// embedded verbatim as "online_baseline" so one file carries both
+// sides of the regression check (scripts/bench_diff.py).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "bench_common.hpp"
 #include "common/parallel.hpp"
@@ -36,6 +44,104 @@ struct PhaseTimes {
   double greedy = 0;
   double build = 0;
 };
+
+struct OnlineNumbers {
+  std::uint64_t engine_events = 0;
+  double engine_s = 0;          ///< dispatch-storm wall time
+  std::uint64_t sim_events = 0; ///< events fired by the query batch
+  double query_s = 0;           ///< query-batch wall time
+  std::uint64_t queries = 0;
+  double subqueries = 0;        ///< local solves across the batch
+  double candidates = 0;        ///< region-matching entries, total
+  double scanned = 0;           ///< entries examined, total
+
+  [[nodiscard]] double engine_eps() const {
+    return engine_s > 0 ? static_cast<double>(engine_events) / engine_s : 0;
+  }
+  [[nodiscard]] double sim_eps() const {
+    return query_s > 0 ? static_cast<double>(sim_events) / query_s : 0;
+  }
+  [[nodiscard]] double qps() const {
+    return query_s > 0 ? static_cast<double>(queries) / query_s : 0;
+  }
+  [[nodiscard]] double cand_per_subquery() const {
+    return subqueries > 0 ? candidates / subqueries : 0;
+  }
+  [[nodiscard]] double scan_per_subquery() const {
+    return subqueries > 0 ? scanned / subqueries : 0;
+  }
+};
+
+/// Pure event-engine throughput: `chains` self-rescheduling events
+/// hammer push/pop/dispatch with small (SBO-sized) closures, mixed
+/// delays (heavy same-timestamp ties included) and actor tags, until
+/// `budget` events have fired. No protocol work — this isolates the
+/// queue + closure machinery the simulator core pays for per event.
+struct DispatchStorm {
+  Simulator sim;
+  std::uint64_t remaining;
+
+  void arm(SimTime delay, std::uint64_t salt) {
+    // The capture is sized like the tree router's batched delivery
+    // closure (~56 bytes: this, qid/incarnation words, hop bookkeeping)
+    // so the storm exercises the same callable-storage path the real
+    // simulation does. The payload feeds back into the delay stream so
+    // the optimizer cannot shed it.
+    std::uint64_t payload[5] = {salt ^ 0xa076'1d64'78bd'642full,
+                                salt * 0xe703'7ed1'a0b4'28dbull,
+                                salt + 0x8ebc'6af0'9c88'c6e3ull,
+                                salt ^ (salt >> 33),
+                                ~salt};
+    sim.schedule_after(delay,
+                       [this, salt, payload] {
+                         fire(salt ^ payload[salt & 3]);
+                       },
+                       /*actor=*/salt & 1023);
+  }
+
+  void fire(std::uint64_t salt) {
+    if (remaining == 0) return;
+    --remaining;
+    // xorshift keeps the delay pattern (and heap shape) churning.
+    salt ^= salt << 13;
+    salt ^= salt >> 7;
+    salt ^= salt << 17;
+    arm(static_cast<SimTime>(salt % 5), salt);
+  }
+
+  explicit DispatchStorm(std::uint64_t budget, std::size_t chains)
+      : remaining(budget) {
+    for (std::size_t c = 0; c < chains; ++c) {
+      arm(static_cast<SimTime>(c % 7), 0x9e3779b97f4a7c15ull + c);
+    }
+  }
+};
+
+/// Extract the balanced-brace object following `"key":` in `json`.
+/// Empty when absent — the baseline file is optional.
+std::string extract_object(const std::string& json, const std::string& key) {
+  std::size_t k = json.find("\"" + key + "\"");
+  if (k == std::string::npos) return {};
+  std::size_t open = json.find('{', k);
+  if (open == std::string::npos) return {};
+  int depth = 0;
+  for (std::size_t i = open; i < json.size(); ++i) {
+    if (json[i] == '{') ++depth;
+    if (json[i] == '}' && --depth == 0) {
+      return json.substr(open, i - open + 1);
+    }
+  }
+  return {};
+}
+
+/// Pull `"field": <number>` out of a JSON object snippet (0 if absent).
+double extract_number(const std::string& obj, const std::string& field) {
+  std::size_t k = obj.find("\"" + field + "\"");
+  if (k == std::string::npos) return 0;
+  std::size_t colon = obj.find(':', k);
+  if (colon == std::string::npos) return 0;
+  return std::strtod(obj.c_str() + colon + 1, nullptr);
+}
 
 int run() {
   Scale s = Scale::resolve();
@@ -101,12 +207,23 @@ int run() {
   LMK_CHECK(truth1 == truthN);    // determinism contract, enforced
   LMK_CHECK(kmeans1 == kmeansN);
 
-  // Query phase: the simulated batch, single-threaded by contract.
+  // Online phase 1: event-engine dispatch storm (no protocol work).
+  OnlineNumbers online;
+  online.engine_events =
+      env_size("LMK_ONLINE_EVENTS", full_scale() ? 16000000 : 4000000);
+  {
+    DispatchStorm storm(online.engine_events, /*chains=*/4096);
+    online.engine_s = time_s([&] { storm.sim.run(); });
+    LMK_CHECK(storm.remaining == 0);
+  }
+
+  // Online phase 2: the simulated query batch, single-threaded by
+  // contract — end-to-end events/sec and queries/sec through the full
+  // stack, plus the per-subquery local-solve scan counters.
   set_threads(pool_threads);
   ExperimentConfig cfg;
   cfg.nodes = s.nodes;
   cfg.seed = s.seed;
-  double query_s = 0;
   double recall_sum = 0;
   {
     SimilarityExperiment<L2Space> exp(
@@ -114,12 +231,19 @@ int run() {
         w.make_mapper(Selection::kKMeans, k, s.sample, s.seed + 8),
         "perf-query");
     exp.set_queries(w.queries, truthN);
-    query_s = time_s([&] {
+    std::uint64_t ev0 = exp.sim().events_executed();
+    online.query_s = time_s([&] {
       QueryStats stats = exp.run_batch(0.05 * w.max_dist);
       recall_sum = stats.recall.mean();
+      online.subqueries = stats.subqueries.sum();
+      online.candidates = stats.candidates.sum();
+      online.scanned = stats.scanned.sum();
     });
+    online.sim_events = exp.sim().events_executed() - ev0;
+    online.queries = s.queries;
   }
   set_threads(0);
+  double query_s = online.query_s;
 
   double off1 = t1.oracle + t1.kmeans + t1.greedy + t1.build;
   double offN = tN.oracle + tN.kmeans + tN.greedy + tN.build;
@@ -133,6 +257,52 @@ int run() {
   std::printf("query       %10.3fs  (simulated, single-threaded; "
               "mean recall %.3f)\n",
               query_s, recall_sum);
+  std::printf("online: engine %.0f events/s (%llu events), "
+              "batch %.0f events/s, %.1f queries/s\n",
+              online.engine_eps(),
+              static_cast<unsigned long long>(online.engine_events),
+              online.sim_eps(), online.qps());
+  std::printf("online: %.1f candidates, %.1f scanned per subquery "
+              "(%.0f subqueries)\n",
+              online.cand_per_subquery(), online.scan_per_subquery(),
+              online.subqueries);
+
+  // Pre-PR baseline (committed): embedded into the output JSON so the
+  // file carries both sides of the events/sec regression check.
+  std::string baseline_online;
+  const char* baseline_path = std::getenv("LMK_PERF_BASELINE");
+  if (baseline_path != nullptr && *baseline_path != '\0') {
+    std::FILE* bf = std::fopen(baseline_path, "r");
+    if (bf == nullptr) {
+      std::fprintf(stderr, "baseline %s not readable\n", baseline_path);
+    } else {
+      std::string text;
+      char buf[4096];
+      std::size_t got = 0;
+      while ((got = std::fread(buf, 1, sizeof buf, bf)) > 0) {
+        text.append(buf, got);
+      }
+      std::fclose(bf);
+      baseline_online = extract_object(text, "online");
+      if (baseline_online.empty()) {
+        std::fprintf(stderr, "baseline %s has no \"online\" section\n",
+                     baseline_path);
+      } else {
+        double base_eps = extract_number(baseline_online,
+                                         "engine_events_per_sec");
+        double base_scan = extract_number(baseline_online,
+                                          "scanned_per_subquery");
+        if (base_eps > 0) {
+          std::printf("online: engine speedup vs baseline: %.2fx\n",
+                      online.engine_eps() / base_eps);
+        }
+        if (base_scan > 0) {
+          std::printf("online: scanned/subquery vs baseline: %.1f -> %.1f\n",
+                      base_scan, online.scan_per_subquery());
+        }
+      }
+    }
+  }
 
   const char* out_path = std::getenv("LMK_PERF_OUT");
   if (out_path == nullptr || *out_path == '\0') out_path = "BENCH_perf.json";
@@ -155,13 +325,37 @@ int run() {
                "  },\n"
                "  \"offline_seconds_1_thread\": %.6f,\n"
                "  \"offline_seconds_n_threads\": %.6f,\n"
-               "  \"offline_speedup\": %.4f\n"
-               "}\n",
+               "  \"offline_speedup\": %.4f,\n"
+               "  \"online\": {\n"
+               "    \"engine_events\": %llu,\n"
+               "    \"engine_seconds\": %.6f,\n"
+               "    \"engine_events_per_sec\": %.1f,\n"
+               "    \"sim_events\": %llu,\n"
+               "    \"query_seconds\": %.6f,\n"
+               "    \"sim_events_per_sec\": %.1f,\n"
+               "    \"queries\": %llu,\n"
+               "    \"queries_per_sec\": %.3f,\n"
+               "    \"subqueries\": %.0f,\n"
+               "    \"candidates_per_subquery\": %.3f,\n"
+               "    \"scanned_per_subquery\": %.3f\n"
+               "  }",
                pool_threads, s.nodes, s.objects, s.queries, sample_size,
                static_cast<unsigned long long>(s.seed), t1.oracle, tN.oracle,
                t1.kmeans, tN.kmeans, t1.greedy, tN.greedy, t1.build,
                tN.build, query_s, off1, offN,
-               offN > 0 ? off1 / offN : 0.0);
+               offN > 0 ? off1 / offN : 0.0,
+               static_cast<unsigned long long>(online.engine_events),
+               online.engine_s, online.engine_eps(),
+               static_cast<unsigned long long>(online.sim_events),
+               online.query_s, online.sim_eps(),
+               static_cast<unsigned long long>(online.queries), online.qps(),
+               online.subqueries, online.cand_per_subquery(),
+               online.scan_per_subquery());
+  if (!baseline_online.empty()) {
+    std::fprintf(f, ",\n  \"online_baseline\": %s",
+                 baseline_online.c_str());
+  }
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", out_path);
   return 0;

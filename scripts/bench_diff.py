@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Event-engine throughput regression check for BENCH_perf.json.
+
+Compares the "online" section of a freshly produced BENCH_perf.json
+against the committed pre-optimization baseline
+(bench/BENCH_perf.baseline.json by default) and exits nonzero when
+engine events/sec regressed by more than the threshold (default 25%).
+
+Throughput on shared CI runners is noisy, so CI invokes this with
+--warn-only: the comparison is printed and annotated but never breaks
+the build. Local runs (scripts/check.sh --bench-smoke) fail hard.
+
+The scanned-candidates counter is compared informationally only — it is
+a work metric, not a wall-clock one, but a silent increase usually
+means the order-index fast path stopped being hit.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_online(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as err:
+        sys.exit(f"bench_diff: cannot read {path}: {err}")
+    online = doc.get("online")
+    if not isinstance(online, dict):
+        sys.exit(f"bench_diff: {path} has no \"online\" section")
+    return online
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", default="bench/BENCH_perf.baseline.json")
+    ap.add_argument("--current", default="BENCH_perf.json")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="allowed fractional events/sec regression")
+    ap.add_argument("--warn-only", action="store_true",
+                    help="report regressions but always exit 0 (CI)")
+    args = ap.parse_args()
+
+    base = load_online(args.baseline)
+    cur = load_online(args.current)
+
+    base_eps = float(base.get("engine_events_per_sec", 0))
+    cur_eps = float(cur.get("engine_events_per_sec", 0))
+    if base_eps <= 0 or cur_eps <= 0:
+        sys.exit("bench_diff: missing engine_events_per_sec")
+
+    ratio = cur_eps / base_eps
+    print(f"bench_diff: engine {cur_eps:,.0f} events/s vs baseline "
+          f"{base_eps:,.0f} ({ratio:.2f}x)")
+
+    base_scan = float(base.get("scanned_per_subquery", 0))
+    cur_scan = float(cur.get("scanned_per_subquery", 0))
+    if base_scan > 0 and cur_scan > 0:
+        print(f"bench_diff: scanned/subquery {cur_scan:.1f} vs baseline "
+              f"{base_scan:.1f} (informational)")
+
+    floor = 1.0 - args.threshold
+    if ratio < floor:
+        msg = (f"bench_diff: REGRESSION — engine events/sec is "
+               f"{ratio:.2f}x of baseline (floor {floor:.2f}x)")
+        if args.warn_only:
+            print(f"::warning::{msg}")
+            print(msg)
+            return 0
+        print(msg, file=sys.stderr)
+        return 1
+    print(f"bench_diff: OK (>= {floor:.2f}x of baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,13 @@
 #                                       #   3. plain build (-Werror) + ctest
 #                                       #   4. audit leg (LMK_AUDIT=1 ctest)
 #                                       #   5. ASan, UBSan, TSan builds + ctest
+#   scripts/check.sh --bench-smoke [--warn-only]
+#                                       # toy-scale online bench_perf run +
+#                                       # bench_diff.py events/sec regression
+#                                       # check against the committed
+#                                       # bench/BENCH_perf.baseline.json
+#                                       # (--warn-only: report, never fail —
+#                                       # what CI uses on shared runners)
 #
 # Every build is -Werror for src/ and tools/ (LMK_WERROR=ON). Each
 # sanitizer gets its own build directory (build-check-<san>) so
@@ -60,6 +67,29 @@ run_audit() {
   cmake --build build-check -j"$(nproc)"
   LMK_AUDIT=1 ctest --test-dir build-check --output-on-failure -j"$(nproc)"
 }
+
+run_bench_smoke() {
+  echo "== check.sh: bench smoke (toy-scale online bench_perf) =="
+  cmake -B build-check -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DLMK_WERROR=ON >/dev/null
+  cmake --build build-check -j"$(nproc)" --target bench_perf >/dev/null
+  # Toy scale: the offline phases shrink with the workload, while the
+  # engine storm (events/sec, the number bench_diff gates on) measures
+  # per-event dispatch cost, which is scale-independent.
+  LMK_NODES=64 LMK_OBJECTS=2000 LMK_QUERIES=30 LMK_SAMPLE=200 \
+    LMK_ONLINE_EVENTS=1000000 \
+    LMK_PERF_OUT=build-check/BENCH_perf.smoke.json \
+    LMK_PERF_BASELINE=bench/BENCH_perf.baseline.json \
+    ./build-check/bench/bench_perf
+  scripts/bench_diff.py --current build-check/BENCH_perf.smoke.json "$@"
+}
+
+if [ "${1:-}" = "--bench-smoke" ]; then
+  shift
+  run_bench_smoke "$@"
+  echo "check.sh: OK (bench smoke)"
+  exit 0
+fi
 
 if [ "${1:-}" = "--audit" ]; then
   run_audit

@@ -18,6 +18,9 @@ LoadBalancer::LoadBalancer(Ring& ring, Options opts, Hooks hooks)
 }
 
 std::vector<ChordNode*> LoadBalancer::probe_set(ChordNode& n) const {
+  // Membership test only: the BFS order comes from `frontier`, never
+  // from iterating `seen`.
+  // lmk-lint: allow(pointer-key-unordered)
   std::unordered_set<ChordNode*> seen{&n};
   std::vector<ChordNode*> frontier{&n};
   std::vector<ChordNode*> out;

@@ -63,10 +63,37 @@ IndexPlatform::NodeStore& IndexPlatform::store_of(const ChordNode& n) {
   return s;
 }
 
-std::vector<IndexEntry>& IndexPlatform::entries(const ChordNode& n,
-                                                std::uint32_t scheme) {
+IndexPlatform::SchemeStore& IndexPlatform::scheme_store(const ChordNode& n,
+                                                        std::uint32_t scheme) {
   LMK_CHECK(scheme < schemes_.size());
   return store_of(n).per_scheme[scheme];
+}
+
+std::vector<IndexEntry>& IndexPlatform::entries(const ChordNode& n,
+                                                std::uint32_t scheme) {
+  SchemeStore& ss = scheme_store(n, scheme);
+  ++ss.version;  // the caller may mutate; order indices rebuild lazily
+  return ss.entries;
+}
+
+void IndexPlatform::ensure_order_index(SchemeStore& ss, std::size_t dims) {
+  if (ss.indexed_version == ss.version && ss.order.size() == dims) return;
+  ss.order.assign(dims, {});
+  const auto n = static_cast<std::uint32_t>(ss.entries.size());
+  for (std::size_t d = 0; d < dims; ++d) ss.order[d].reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const IndexPoint& p = ss.entries[i].point;
+    for (std::size_t d = 0; d < dims; ++d) {
+      ss.order[d].emplace_back(p[d], i);
+    }
+  }
+  for (std::size_t d = 0; d < dims; ++d) {
+    // Pair order breaks value ties by entry index, so the scan order —
+    // and therefore the whole simulation — is independent of the sort
+    // algorithm's handling of equal values.
+    std::sort(ss.order[d].begin(), ss.order[d].end());
+  }
+  ss.indexed_version = ss.version;
 }
 
 std::vector<ChordNode*> IndexPlatform::replica_nodes(Id key) const {
@@ -184,7 +211,9 @@ void IndexPlatform::clear_scheme(std::uint32_t scheme_id) {
   // lmk-lint: iteration-order-independent
   for (auto& [node, store] : stores_) {
     if (scheme_id < store.per_scheme.size()) {
-      store.per_scheme[scheme_id].clear();
+      SchemeStore& ss = store.per_scheme[scheme_id];
+      ss.entries.clear();
+      ++ss.version;
     }
   }
 }
@@ -196,7 +225,7 @@ std::size_t IndexPlatform::scheme_entries(std::uint32_t scheme_id) const {
   for (const auto& [node, store] : stores_) {
     if (!node->alive()) continue;  // crashed copies are lost
     if (scheme_id < store.per_scheme.size()) {
-      total += store.per_scheme[scheme_id].size();
+      total += store.per_scheme[scheme_id].entries.size();
     }
   }
   return total;
@@ -208,7 +237,7 @@ std::size_t IndexPlatform::total_entries() const {
   // lmk-lint: iteration-order-independent
   for (const auto& [node, store] : stores_) {
     if (!node->alive()) continue;  // crashed copies are lost
-    for (const auto& vec : store.per_scheme) total += vec.size();
+    for (const auto& ss : store.per_scheme) total += ss.entries.size();
   }
   return total;
 }
@@ -277,11 +306,50 @@ void IndexPlatform::on_solve(const RangeQuery& q, ChordNode& node) {
   // the (closed) query region, scored for the per-node top-k cut —
   // by true metric distance when the query carries a ranking function
   // (distributed refinement), else by the contractive L-inf lower bound.
+  //
+  // Instead of scanning the whole store, binary-search each dimension's
+  // order index for the query range and walk only the most selective
+  // dimension's slice. The match SET is unchanged, and the scan order
+  // (dimension value, then entry index) is a pure function of store
+  // contents — the reply assembly downstream sorts and dedups by
+  // (object, score), so results stay byte-identical to a full scan.
   PendingReply& reply = pending_replies_[q.qid][&node];
   std::uint64_t evaluated = 0;
-  for (const IndexEntry& e : entries(node, aq.scheme)) {
+  SchemeStore& ss = scheme_store(node, aq.scheme);
+  const std::size_t dims = scheme(aq.scheme).boundary.size();
+  ensure_order_index(ss, dims);
+  std::size_t best_d = 0;
+  std::size_t best_lo = 0;
+  std::size_t best_hi = 0;
+  std::size_t best_count = ss.entries.size() + 1;
+  for (std::size_t d = 0; d < dims; ++d) {
+    const auto& ord = ss.order[d];
+    const Interval& r = q.region.ranges[d];
+    auto lo = std::lower_bound(
+        ord.begin(), ord.end(), r.lo,
+        [](const std::pair<double, std::uint32_t>& p, double v) {
+          return p.first < v;
+        });
+    auto hi = std::upper_bound(
+        lo, ord.end(), r.hi,
+        [](double v, const std::pair<double, std::uint32_t>& p) {
+          return v < p.first;
+        });
+    auto count = static_cast<std::size_t>(hi - lo);
+    if (count < best_count) {
+      best_count = count;
+      best_d = d;
+      best_lo = static_cast<std::size_t>(lo - ord.begin());
+      best_hi = static_cast<std::size_t>(hi - ord.begin());
+    }
+  }
+  aq.outcome.scanned += best_count;
+  const auto& ord = ss.order[best_d];
+  for (std::size_t k = best_lo; k < best_hi; ++k) {
+    const IndexEntry& e = ss.entries[ord[k].second];
     bool inside = true;
     for (std::size_t d = 0; d < e.point.size(); ++d) {
+      if (d == best_d) continue;  // the slice already satisfies best_d
       const Interval& r = q.region.ranges[d];
       if (e.point[d] < r.lo || e.point[d] > r.hi) {
         inside = false;
@@ -403,7 +471,7 @@ std::size_t IndexPlatform::entries_on(const ChordNode& n) const {
   auto it = stores_.find(&n);
   if (it == stores_.end()) return 0;
   std::size_t total = 0;
-  for (const auto& vec : it->second.per_scheme) total += vec.size();
+  for (const auto& ss : it->second.per_scheme) total += ss.entries.size();
   return total;
 }
 
@@ -419,11 +487,13 @@ void IndexPlatform::drain_all(ChordNode& from, ChordNode& to) {
   NodeStore& src = store_of(from);
   NodeStore& dst = store_of(to);
   for (std::size_t s = 0; s < src.per_scheme.size(); ++s) {
-    auto& sv = src.per_scheme[s];
-    auto& dv = dst.per_scheme[s];
+    auto& sv = src.per_scheme[s].entries;
+    auto& dv = dst.per_scheme[s].entries;
     dv.insert(dv.end(), std::make_move_iterator(sv.begin()),
               std::make_move_iterator(sv.end()));
     sv.clear();
+    ++src.per_scheme[s].version;
+    ++dst.per_scheme[s].version;
   }
 }
 
@@ -434,8 +504,10 @@ void IndexPlatform::transfer_owned(ChordNode& from, ChordNode& to) {
   NodeStore& src = store_of(from);
   NodeStore& dst = store_of(to);
   for (std::size_t s = 0; s < src.per_scheme.size(); ++s) {
-    auto& sv = src.per_scheme[s];
-    auto& dv = dst.per_scheme[s];
+    auto& sv = src.per_scheme[s].entries;
+    auto& dv = dst.per_scheme[s].entries;
+    ++src.per_scheme[s].version;
+    ++dst.per_scheme[s].version;
     auto keep_end = std::partition(
         sv.begin(), sv.end(),
         [lo, hi](const IndexEntry& e) { return !in_open_closed(e.key, lo, hi); });
@@ -452,8 +524,8 @@ Id IndexPlatform::median_key(const ChordNode& n) const {
   if (it == stores_.end()) return pred;
   // Collect keys in ring order from the predecessor.
   std::vector<Id> offsets;
-  for (const auto& vec : it->second.per_scheme) {
-    for (const IndexEntry& e : vec) {
+  for (const auto& ss : it->second.per_scheme) {
+    for (const IndexEntry& e : ss.entries) {
       offsets.push_back(clockwise_distance(pred, e.key));
     }
   }
@@ -507,7 +579,7 @@ const std::vector<IndexEntry>& IndexPlatform::store(const ChordNode& n,
   if (it == stores_.end() || scheme >= it->second.per_scheme.size()) {
     return kEmpty;
   }
-  return it->second.per_scheme[scheme];
+  return it->second.per_scheme[scheme].entries;
 }
 
 void IndexPlatform::check_placement_invariant() const {
@@ -517,8 +589,8 @@ void IndexPlatform::check_placement_invariant() const {
     // Dead nodes are skipped: graceful leavers drained to empty, and a
     // crashed node's copies are simply lost (wiped by the next repair).
     if (!node->alive()) continue;
-    for (const auto& vec : store.per_scheme) {
-      for (const IndexEntry& e : vec) {
+    for (const auto& ss : store.per_scheme) {
+      for (const IndexEntry& e : ss.entries) {
         if (opts_.replication <= 1) {
           LMK_CHECK(node->owns(e.key));
         } else {
@@ -569,7 +641,7 @@ void IndexPlatform::repair_replication() {
     bool dead = !node->alive();
     for (std::size_t sc = 0; sc < store.per_scheme.size(); ++sc) {
       if (!dead) {
-        for (IndexEntry& e : store.per_scheme[sc]) {
+        for (IndexEntry& e : store.per_scheme[sc].entries) {
           if (seen[sc][e.object].insert(e.key).second) {
             per_scheme[sc].push_back(
                 Logical{e.key, e.object, std::move(e.point)});
@@ -578,7 +650,8 @@ void IndexPlatform::repair_replication() {
       }
       // Dead stores are purged either way: their copies are lost, and a
       // node reviving later must not resurrect stale data.
-      store.per_scheme[sc].clear();
+      store.per_scheme[sc].entries.clear();
+      ++store.per_scheme[sc].version;
     }
   }
   for (std::size_t sc = 0; sc < per_scheme.size(); ++sc) {

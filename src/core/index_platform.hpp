@@ -86,6 +86,12 @@ class IndexPlatform {
     /// landmark hotspots in §4.3).
     std::uint64_t candidates = 0;
     std::uint64_t max_node_candidates = 0;
+    /// Stored entries *examined* across all local solves (the per-node
+    /// scan cost). With the sorted-store candidate ranges this is the
+    /// number of entries inside the chosen dimension's range, not the
+    /// node's whole store — the online-path pruning the perf bench
+    /// regresses against.
+    std::uint64_t scanned = 0;
     int lost_subqueries = 0;     ///< dropped by churn (0 in steady state)
     bool complete = false;
   };
@@ -244,8 +250,22 @@ class IndexPlatform {
   void repair_replication();
 
  private:
+  /// One scheme's entries on one node, plus lazily rebuilt per-dimension
+  /// order indices. order[d] holds (point[d], entry index) sorted
+  /// ascending; on_solve binary-searches every dimension's index for
+  /// the query range, then scans only the most selective dimension's
+  /// slice instead of the whole store. Mutations just bump `version`;
+  /// the indices are rebuilt on the first solve that finds them stale
+  /// (stores churn in bursts between query batches, so one rebuild
+  /// amortizes over the whole batch).
+  struct SchemeStore {
+    std::vector<IndexEntry> entries;
+    std::vector<std::vector<std::pair<double, std::uint32_t>>> order;
+    std::uint64_t version = 0;
+    std::uint64_t indexed_version = ~std::uint64_t{0};
+  };
   struct NodeStore {
-    std::vector<std::vector<IndexEntry>> per_scheme;
+    std::vector<SchemeStore> per_scheme;
   };
   struct ActiveQuery {
     std::uint32_t scheme = 0;
@@ -258,6 +278,9 @@ class IndexPlatform {
     QueryOutcome outcome;
     QueryCallback done;
     DistanceFn rank;
+    // Per-node tally bumped on solve and read back per node at reply
+    // flush; never iterated.
+    // lmk-lint: allow(pointer-key-unordered)
     std::unordered_map<const ChordNode*, std::uint64_t> node_candidates;
     std::unordered_set<std::uint64_t> seen;
   };
@@ -274,7 +297,11 @@ class IndexPlatform {
 
   [[nodiscard]] std::vector<ChordNode*> replica_nodes(Id key) const;
   NodeStore& store_of(const ChordNode& n);
+  SchemeStore& scheme_store(const ChordNode& n, std::uint32_t scheme);
+  /// Mutable entry vector; bumps the store version so the order indices
+  /// rebuild before the next solve. All writers must come through here.
   std::vector<IndexEntry>& entries(const ChordNode& n, std::uint32_t scheme);
+  static void ensure_order_index(SchemeStore& ss, std::size_t dims);
   void on_solve(const RangeQuery& q, ChordNode& node);
   void flush_reply(std::uint64_t qid, ChordNode& node);
   void on_fanout(std::uint64_t qid, int delta);
@@ -285,9 +312,15 @@ class IndexPlatform {
   Options opts_;
   std::vector<std::unique_ptr<SchemeRouting>> schemes_;
   std::vector<std::string> scheme_names_;
+  // Lookup-only store map: every cross-node walk goes through ring
+  // order (Ring::nodes), not this map.
+  // lmk-lint: allow(pointer-key-unordered)
   std::unordered_map<const ChordNode*, NodeStore> stores_;
   std::unordered_map<std::uint64_t, ActiveQuery> active_;
+  // The inner map is looked up by the solving node only; reply flushes
+  // are per-(qid, node) events, so no code path iterates it.
   std::unordered_map<std::uint64_t,
+                     // lmk-lint: allow(pointer-key-unordered) see above
                      std::unordered_map<const ChordNode*, PendingReply>>
       pending_replies_;
   std::uint64_t next_qid_ = 1;

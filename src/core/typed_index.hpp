@@ -234,6 +234,7 @@ class LandmarkIndex {
     total.subqueries += round.subqueries;
     total.lost_subqueries += round.lost_subqueries;
     total.candidates += round.candidates;
+    total.scanned += round.scanned;
     total.max_node_candidates =
         std::max(total.max_node_candidates, round.max_node_candidates);
     total.complete = round.complete;

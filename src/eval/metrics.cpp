@@ -21,6 +21,7 @@ void QueryStats::add(const IndexPlatform::QueryOutcome& outcome,
   index_nodes.add(outcome.index_nodes);
   subqueries.add(outcome.subqueries);
   candidates.add(static_cast<double>(outcome.candidates));
+  scanned.add(static_cast<double>(outcome.scanned));
   max_node_cand.add(static_cast<double>(outcome.max_node_candidates));
   if (outcome.lost_subqueries > 0) ++incomplete;
 }

@@ -22,6 +22,7 @@ struct QueryStats {
   Accumulator index_nodes;      ///< distinct index nodes contacted
   Accumulator subqueries;       ///< local solves per query
   Accumulator candidates;       ///< refinement candidates, total
+  Accumulator scanned;          ///< stored entries examined, total
   Accumulator max_node_cand;    ///< busiest node's refinement share
   std::size_t incomplete = 0;   ///< queries that lost subqueries
   std::vector<double> latency_samples_ms;  ///< raw max-latency samples

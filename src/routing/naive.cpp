@@ -29,9 +29,16 @@ void NaiveRouter::start(ChordNode& origin_node, RangeQuery q) {
       pieces.push_back(std::move(cur));
       continue;
     }
-    auto subs = query_split(cur, cur.prefix.length + 1);
-    if (subs.size() == 2) fanout_(subs[0].qid, +1);
-    for (auto& sq : subs) work.push_back(std::move(sq));
+    QuerySplitPlan plan = plan_query_split(cur, cur.prefix.length + 1);
+    if (plan.children == 1) {
+      descend_query(cur, plan);  // prefix-only descend, no copies
+      work.push_back(std::move(cur));
+    } else {
+      fanout_(cur.qid, +1);
+      auto [upper, lower] = split_query(std::move(cur), plan);
+      work.push_back(std::move(upper));
+      work.push_back(std::move(lower));
+    }
   }
   for (auto& piece : pieces) route(origin_node, std::move(piece));
 }

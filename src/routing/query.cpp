@@ -19,35 +19,58 @@ bool make_query(const SchemeRouting& scheme, std::uint64_t qid, HostId origin,
   return true;
 }
 
-std::vector<RangeQuery> query_split(const RangeQuery& q, int p) {
+QuerySplitPlan plan_query_split(const RangeQuery& q, int p) {
   LMK_CHECK(p >= 1 && p <= kIdBits);
   LMK_CHECK(p == q.prefix.length + 1);
-  int j = 0;
-  double mid = split_plane(q.prefix.key, p, q.scheme->boundary, &j);
-  const Interval& range = q.region.ranges[static_cast<std::size_t>(j)];
+  QuerySplitPlan plan;
+  plan.p = p;
+  plan.mid = split_plane(q.prefix.key, p, q.scheme->boundary, &plan.dim);
+  plan.lower_key = q.prefix.key;
+  plan.upper_key = set_bit(q.prefix.key, p);
+  const Interval& range =
+      q.region.ranges[static_cast<std::size_t>(plan.dim)];
+  if (range.lo > plan.mid) {
+    plan.children = 1;
+    plan.upper = true;  // entirely in the upper half: descend, set bit p
+  } else if (range.hi <= plan.mid) {
+    plan.children = 1;
+    plan.upper = false;  // entirely in the lower (points on the plane
+                         // hash low)
+  } else {
+    plan.children = 2;
+  }
+  return plan;
+}
 
+void descend_query(RangeQuery& q, const QuerySplitPlan& plan) {
+  LMK_CHECK(plan.children == 1);
+  if (plan.upper) q.prefix.key = plan.upper_key;
+  q.prefix.length = plan.p;
+}
+
+std::pair<RangeQuery, RangeQuery> split_query(RangeQuery q,
+                                              const QuerySplitPlan& plan) {
+  LMK_CHECK(plan.children == 2);
+  const auto dim = static_cast<std::size_t>(plan.dim);
+  RangeQuery upper = q;  // the one unavoidable region/focus copy
+  upper.prefix.key = plan.upper_key;
+  upper.prefix.length = plan.p;
+  upper.region.ranges[dim].lo = plan.mid;
+  RangeQuery lower = std::move(q);  // steals q's storage
+  lower.prefix.length = plan.p;
+  lower.region.ranges[dim].hi = plan.mid;
+  return {std::move(upper), std::move(lower)};
+}
+
+std::vector<RangeQuery> query_split(const RangeQuery& q, int p) {
+  QuerySplitPlan plan = plan_query_split(q, p);
   std::vector<RangeQuery> out;
-  if (range.lo > mid) {
-    // Entirely in the upper half: descend, set bit p.
+  if (plan.children == 1) {
     RangeQuery nq = q;
-    nq.prefix.key = set_bit(nq.prefix.key, p);
-    nq.prefix.length = p;
-    out.push_back(std::move(nq));
-  } else if (range.hi <= mid) {
-    // Entirely in the lower half (points on the plane hash low).
-    RangeQuery nq = q;
-    nq.prefix.length = p;
+    descend_query(nq, plan);
     out.push_back(std::move(nq));
   } else {
-    // Straddles: split the region at the plane. Upper child first, as in
-    // the paper's listing.
-    RangeQuery upper = q;
-    upper.prefix.key = set_bit(upper.prefix.key, p);
-    upper.prefix.length = p;
-    upper.region.ranges[static_cast<std::size_t>(j)].lo = mid;
-    RangeQuery lower = q;
-    lower.prefix.length = p;
-    lower.region.ranges[static_cast<std::size_t>(j)].hi = mid;
+    auto [upper, lower] = split_query(q, plan);
     out.push_back(std::move(upper));
     out.push_back(std::move(lower));
   }

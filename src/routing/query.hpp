@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "lph/lph.hpp"
@@ -71,10 +72,41 @@ struct RangeQuery {
                               HostId origin, Region region, IndexPoint focus,
                               RangeQuery* out);
 
-/// Algorithm 4 (QuerySplit): split query q at division p (1-based,
-/// p == q.prefix.length + 1 in normal use). Returns one subquery when
+/// Split decision for query q at division p, computed without touching
+/// the query's region or focus storage: the child count, the split
+/// plane, and both children's prefix keys. The keys make the children
+/// routable (routing_key = key + rotation) before — or without —
+/// materializing them, so the router's descend and shared-next-hop
+/// cases move the original query along instead of copying it.
+struct QuerySplitPlan {
+  int children = 1;    ///< 1 (region fits one half) or 2 (straddles)
+  int dim = 0;         ///< dimension the division-p plane cuts
+  double mid = 0.0;    ///< plane coordinate in that dimension
+  bool upper = false;  ///< children == 1: region lies in the upper half
+  int p = 0;           ///< division the plan was computed for
+  Id upper_key = 0;    ///< child prefix key with bit p set
+  Id lower_key = 0;    ///< child prefix key with bit p clear (== q's)
+};
+
+/// Plan the Algorithm 4 split of q at division p (1-based,
+/// p == q.prefix.length + 1 in normal use).
+[[nodiscard]] QuerySplitPlan plan_query_split(const RangeQuery& q, int p);
+
+/// Apply a one-child plan in place: the prefix descends, the region and
+/// focus are untouched (zero allocation).
+void descend_query(RangeQuery& q, const QuerySplitPlan& plan);
+
+/// Materialize a two-child plan, consuming q: the lower child steals
+/// q's region and focus storage, only the upper child copies them.
+/// Returned upper-first, as in the paper's listing.
+[[nodiscard]] std::pair<RangeQuery, RangeQuery> split_query(
+    RangeQuery q, const QuerySplitPlan& plan);
+
+/// Algorithm 4 (QuerySplit) convenience form: returns one subquery when
 /// the region lies entirely in one half (prefix descends, region kept),
 /// or two (upper first, as in the paper) when it straddles the plane.
+/// The routers use the plan/descend/split primitives above to avoid the
+/// copies; this wrapper serves tests and the naive client-side splitter.
 [[nodiscard]] std::vector<RangeQuery> query_split(const RangeQuery& q, int p);
 
 }  // namespace lmk

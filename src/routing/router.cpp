@@ -111,31 +111,7 @@ void QueryRouter::process(ChordNode& at, Parcel parcel) {
 
 void QueryRouter::query_routing(ChordNode& at, RangeQuery q) {
   LMK_CHECK(q.hops <= hop_limit_);
-  std::vector<RangeQuery> list;
-  if (q.prefix.length == kIdBits) {
-    list.push_back(std::move(q));
-  } else {
-    auto subs = query_split(q, q.prefix.length + 1);
-    if (subs.size() == 1) {
-      // Region fits one half: descend without splitting (the paper's
-      // listing assumes a two-way split; a single-child descend is the
-      // degenerate case after surrogate pruning).
-      list.push_back(std::move(subs[0]));
-    } else {
-      NodeRef n1 = at.next_hop(subs[0].routing_key());
-      NodeRef n2 = at.next_hop(subs[1].routing_key());
-      if (n1.node == n2.node) {
-        // Both halves share the next hop: ship the larger query onward
-        // and let a later node split it (Alg. 3 lines 8-9).
-        list.push_back(std::move(q));
-      } else {
-        fanout_(subs[0].qid, +1);
-        list.push_back(std::move(subs[0]));
-        list.push_back(std::move(subs[1]));
-      }
-    }
-  }
-  for (auto& sq : list) {
+  auto dispatch = [&](RangeQuery&& sq) {
     NodeRef n = at.next_hop(sq.routing_key());
     if (n.node == &at) {
       // This node is the predecessor of the prefix key: hand the query
@@ -144,7 +120,36 @@ void QueryRouter::query_routing(ChordNode& at, RangeQuery q) {
     } else {
       enqueue(n, std::move(sq), /*to_surrogate=*/false);
     }
+  };
+  if (q.prefix.length == kIdBits) {
+    dispatch(std::move(q));
+    return;
   }
+  // Plan the split first: the children's routing keys come from the
+  // plan, so the descend and shared-next-hop cases ship the original
+  // query onward without ever copying its region or focus.
+  QuerySplitPlan plan = plan_query_split(q, q.prefix.length + 1);
+  if (plan.children == 1) {
+    // Region fits one half: descend without splitting (the paper's
+    // listing assumes a two-way split; a single-child descend is the
+    // degenerate case after surrogate pruning).
+    descend_query(q, plan);
+    dispatch(std::move(q));
+    return;
+  }
+  const Id rot = q.scheme->rotation;
+  NodeRef n1 = at.next_hop(plan.upper_key + rot);
+  NodeRef n2 = at.next_hop(plan.lower_key + rot);
+  if (n1.node == n2.node) {
+    // Both halves share the next hop: ship the larger query onward
+    // and let a later node split it (Alg. 3 lines 8-9).
+    dispatch(std::move(q));
+    return;
+  }
+  fanout_(q.qid, +1);
+  auto [upper, lower] = split_query(std::move(q), plan);
+  dispatch(std::move(upper));  // upper first, as in the paper's listing
+  dispatch(std::move(lower));
 }
 
 void QueryRouter::surrogate_refine(ChordNode& me, RangeQuery q) {
@@ -169,29 +174,36 @@ void QueryRouter::surrogate_refine(ChordNode& me, RangeQuery q) {
       return;
     }
     int p = cur.prefix.length + 1;
-    auto subs = query_split(cur, p);
-    if (subs.size() == 2) fanout_(cur.qid, +1);
-    bool continued = false;
-    RangeQuery next;
-    for (auto& sq : subs) {
-      int qbit = get_bit(sq.prefix.key, p);
-      if (qbit == get_bit(vid, p)) {
-        // The child containing my identifier: refine further.
-        next = std::move(sq);
-        continued = true;
-      } else if (qbit == 0) {
+    QuerySplitPlan plan = plan_query_split(cur, p);
+    const int vbit = get_bit(vid, p);
+    if (plan.children == 1) {
+      descend_query(cur, plan);
+      int qbit = get_bit(cur.prefix.key, p);
+      if (qbit == vbit) continue;  // the child containing my identifier
+      if (qbit == 0) {
         // Child cuboid's keys all precede my identifier (and follow my
         // predecessor): fully covered, solve locally.
-        solve_(sq, me);
+        solve_(cur, me);
       } else {
         // Child cuboid's keys all exceed my identifier: forward it
         // (Alg. 5 line 17) — QueryRouting runs locally; the episode's
         // flush batches siblings bound for the same next hop.
-        query_routing(me, std::move(sq));
+        query_routing(me, std::move(cur));
       }
+      return;
     }
-    if (!continued) return;
-    cur = std::move(next);
+    fanout_(cur.qid, +1);
+    auto [upper, lower] = split_query(std::move(cur), plan);
+    // Matching the two-child walk order of the paper's listing (upper
+    // first): the half containing my identifier refines further; its
+    // sibling is solved locally (keys below vid) or forwarded (above).
+    if (vbit == 1) {
+      solve_(lower, me);
+      cur = std::move(upper);
+    } else {
+      query_routing(me, std::move(upper));
+      cur = std::move(lower);
+    }
   }
 }
 

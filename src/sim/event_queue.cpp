@@ -1,41 +1,76 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 
 namespace lmk {
+namespace {
+
+/// Avalanching mix (the splitmix64 finalizer) so clustered timestamps
+/// spread across the probe table.
+std::uint64_t mix(SimTime at) {
+  auto x = static_cast<std::uint64_t>(at);
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
 
 void EventQueue::push(SimTime at, EventFn fn, std::uint64_t actor) {
-  // The tie key is fixed at push time so the comparator stays stateless:
-  // ascending seq gives FIFO, ascending ~seq gives reverse order.
-  std::uint64_t seq = next_seq_++;
-  std::uint64_t tie = mode_ == TieBreak::kFifo ? seq : ~seq;
-  heap_.push(Entry{at, tie, actor, std::move(fn)});
+  std::uint32_t b = find_or_create_bucket(at);
+  buckets_[b].events.push_back(Slot{actor, std::move(fn)});
+  ++size_;
 }
 
 SimTime EventQueue::next_time() const {
-  LMK_CHECK(!heap_.empty());
-  return heap_.top().at;
+  LMK_CHECK(size_ > 0);
+  // Invariant: while events are pending, the heap-min bucket is
+  // non-drained (pop sheds drained buckets eagerly), so its timestamp
+  // is the earliest pending instant.
+  return heap_.front().at;
 }
 
 EventFn EventQueue::pop(SimTime* at) {
-  LMK_CHECK(!heap_.empty());
-  // priority_queue::top() is const; the move is safe because we pop
-  // immediately after.
-  Entry top = std::move(const_cast<Entry&>(heap_.top()));
-  heap_.pop();
-  note_pop(top.at, top.actor);
-  if (at != nullptr) *at = top.at;
-  return std::move(top.fn);
+  LMK_CHECK(size_ > 0);
+  Bucket& b = buckets_[heap_.front().bucket];
+  Slot slot;
+  if (mode_ == TieBreak::kFifo) {
+    slot = std::move(b.events[b.head++]);
+  } else {
+    slot = std::move(b.events.back());
+    b.events.pop_back();
+  }
+  --size_;
+  note_pop(b.at, slot.actor);
+  if (at != nullptr) *at = b.at;
+  // Shed the bucket as soon as it drains so the heap min is always a
+  // live instant. A later push at the same timestamp (e.g. a zero-delay
+  // schedule from the event we just popped) simply opens a fresh bucket
+  // for it — by then every older same-instant event has already run, so
+  // queue/stack order across the two incarnations is still (at, tie).
+  while (!heap_.empty() && drained(buckets_[heap_.front().bucket])) {
+    release_min_bucket();
+  }
+  return std::move(slot.fn);
 }
 
 void EventQueue::clear() {
-  while (!heap_.empty()) heap_.pop();
-  next_seq_ = 0;
+  heap_.clear();
+  buckets_.clear();
+  free_.clear();
+  table_.clear();
+  table_live_ = 0;
+  size_ = 0;
   flush_tie_group();
 }
 
 void EventQueue::set_tie_break(TieBreak mode) {
-  LMK_CHECK(heap_.empty());
+  LMK_CHECK(empty());
   mode_ = mode;
 }
 
@@ -44,23 +79,139 @@ TieStats EventQueue::tie_stats() {
   return stats_;
 }
 
+void EventQueue::sift_up(std::size_t i) {
+  HeapItem item = heap_[i];
+  while (i > 0) {
+    std::size_t parent = (i - 1) / 4;
+    if (!before(item, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = item;
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  HeapItem item = heap_[i];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t first = i * 4 + 1;
+    if (first >= n) break;
+    std::size_t last = std::min(first + 4, n);
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], item)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = item;
+}
+
+std::uint32_t EventQueue::find_or_create_bucket(SimTime at) {
+  if (table_.empty()) table_.resize(64);
+  const std::size_t mask = table_.size() - 1;
+  std::size_t i = mix(at) & mask;
+  while (table_[i].bucket != kNoBucket) {
+    if (table_[i].key == at) return table_[i].bucket;
+    i = (i + 1) & mask;
+  }
+  std::uint32_t b;
+  if (!free_.empty()) {
+    b = free_.back();
+    free_.pop_back();
+  } else {
+    b = static_cast<std::uint32_t>(buckets_.size());
+    buckets_.emplace_back();
+  }
+  buckets_[b].at = at;
+  table_[i] = TableEntry{at, b};
+  ++table_live_;
+  heap_.push_back(HeapItem{at, b});
+  sift_up(heap_.size() - 1);
+  if (table_live_ * 10 >= table_.size() * 7) table_grow();
+  return b;
+}
+
+void EventQueue::release_min_bucket() {
+  Bucket& b = buckets_[heap_.front().bucket];
+  table_erase(b.at);
+  b.events.clear();  // keeps capacity for the bucket's next incarnation
+  b.head = 0;
+  free_.push_back(heap_.front().bucket);
+  HeapItem last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_.front() = last;
+    sift_down(0);
+  }
+}
+
+void EventQueue::table_grow() {
+  std::vector<TableEntry> old = std::move(table_);
+  table_.assign(old.size() * 2, TableEntry{});
+  const std::size_t mask = table_.size() - 1;
+  for (const TableEntry& e : old) {
+    if (e.bucket == kNoBucket) continue;
+    std::size_t i = mix(e.key) & mask;
+    while (table_[i].bucket != kNoBucket) i = (i + 1) & mask;
+    table_[i] = e;
+  }
+}
+
+void EventQueue::table_erase(SimTime at) {
+  const std::size_t mask = table_.size() - 1;
+  std::size_t i = mix(at) & mask;
+  while (table_[i].key != at || table_[i].bucket == kNoBucket) {
+    i = (i + 1) & mask;
+  }
+  table_[i].bucket = kNoBucket;
+  --table_live_;
+  // Backward-shift deletion keeps probe chains gap-free without
+  // tombstones: walk the cluster after the hole and move back any entry
+  // whose home slot does not lie inside (i, j].
+  std::size_t j = i;
+  for (;;) {
+    j = (j + 1) & mask;
+    if (table_[j].bucket == kNoBucket) break;
+    std::size_t home = mix(table_[j].key) & mask;
+    const bool home_in_hole_to_j =
+        (j > i) ? (home > i && home <= j) : (home > i || home <= j);
+    if (!home_in_hole_to_j) {
+      table_[i] = table_[j];
+      table_[j].bucket = kNoBucket;
+      i = j;
+    }
+  }
+}
+
 void EventQueue::note_pop(SimTime at, std::uint64_t actor) {
   if (at != group_at_) {
     flush_tie_group();
     group_at_ = at;
   }
-  if (actor != kNoActor) ++group_actors_[actor];
+  if (actor == kNoActor) return;
+  group_actors_.push_back(actor);
 }
 
 void EventQueue::flush_tie_group() {
-  for (const auto& [actor, count] : group_actors_) {
-    (void)actor;
-    if (count >= 2) {
-      ++stats_.groups;
-      stats_.events += count;
+  if (!group_actors_.empty()) {
+    std::sort(group_actors_.begin(), group_actors_.end());
+    std::size_t run = 1;
+    for (std::size_t i = 1; i <= group_actors_.size(); ++i) {
+      if (i < group_actors_.size() &&
+          group_actors_[i] == group_actors_[i - 1]) {
+        ++run;
+        continue;
+      }
+      if (run >= 2) {
+        ++stats_.groups;
+        stats_.events += run;
+      }
+      run = 1;
     }
+    group_actors_.clear();  // keeps capacity; groups re-form each timestamp
   }
-  group_actors_.clear();
   group_at_ = -1;
 }
 

@@ -4,6 +4,29 @@
 // scheduled for the same instant run in schedule order — this makes the
 // whole simulation deterministic, which the reproduction relies on.
 //
+// Hot-path layout: events are grouped into per-timestamp buckets held
+// in a pool; a flat 4-ary min-heap orders the *buckets* by timestamp
+// (one heap entry per distinct pending instant), and an open-addressing
+// hash maps timestamp -> live bucket so push appends in O(1). Within a
+// bucket the tie-break order is free: under kFifo the bucket is a queue
+// (events arrive in ascending sequence number, a cursor pops from the
+// front), under kReversed it is a stack (pop from the back yields
+// descending sequence, and a same-instant push lands on top — exactly
+// the event that reversed order pops next). Heap sifts therefore cost
+// O(log #distinct-timestamps) per *timestamp*, not per event — the win
+// that matters under bursty delivery, where one instant carries many
+// events. Callables are EventClosure (event_closure.hpp): 64-byte
+// inline storage, heap fallback, move-only; they are moved only on
+// bucket append/pop, never during sifts.
+//
+// Determinism: pop order is (at, tie) with tie = seq under kFifo and
+// ~seq under kReversed, identical to a global heap over (at, tie) keys.
+// Buckets partition events by `at`; the bucket heap is keyed by `at`
+// alone and live buckets have distinct timestamps (the hash guarantees
+// one live bucket per instant), so the comparator is a strict total
+// order. The per-bucket queue/stack discipline reproduces the tie
+// order, including events pushed at the instant currently draining.
+//
 // For the audit subsystem the queue additionally supports:
 //  - a perturbed (but still deterministic) tie-break mode, used by the
 //    event-tie race detector to re-run a scenario with same-timestamp
@@ -14,17 +37,15 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <map>
-#include <queue>
 #include <vector>
 
 #include "net/latency_model.hpp"
+#include "sim/event_closure.hpp"
 
 namespace lmk {
 
 /// Callback invoked when an event fires.
-using EventFn = std::function<void()>;
+using EventFn = EventClosure;
 
 /// Actor tag for events not attributed to any node.
 inline constexpr std::uint64_t kNoActor = ~std::uint64_t{0};
@@ -54,10 +75,10 @@ class EventQueue {
   void push(SimTime at, EventFn fn, std::uint64_t actor = kNoActor);
 
   /// True when no events remain.
-  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
 
   /// Number of pending events.
-  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
 
   /// Timestamp of the earliest pending event. Requires !empty().
   [[nodiscard]] SimTime next_time() const;
@@ -65,12 +86,12 @@ class EventQueue {
   /// Remove and return the earliest pending event. Requires !empty().
   EventFn pop(SimTime* at);
 
-  /// Drop all pending events.
+  /// Drop all pending events and reset the tie sequence.
   void clear();
 
   /// Select the tie-break policy. Must be called while the queue is
-  /// empty (changing the order of already-heaped entries would corrupt
-  /// the heap invariant).
+  /// empty (changing the order of already-bucketed entries would
+  /// corrupt the per-bucket discipline).
   void set_tie_break(TieBreak mode);
 
   [[nodiscard]] TieBreak tie_break() const { return mode_; }
@@ -81,29 +102,64 @@ class EventQueue {
   TieStats tie_stats();
 
  private:
-  struct Entry {
+  /// Pool slot: one pending event inside a bucket.
+  struct Slot {
+    std::uint64_t actor = kNoActor;
+    EventClosure fn;
+  };
+  /// All events pending at one instant, in arrival (= sequence) order.
+  /// kFifo pops events[head], kReversed pops events.back().
+  struct Bucket {
+    SimTime at = 0;
+    std::size_t head = 0;
+    std::vector<Slot> events;
+  };
+  /// Heap key: buckets ordered by timestamp alone (timestamps of live
+  /// buckets are distinct, so this is a strict total order).
+  struct HeapItem {
     SimTime at;
-    std::uint64_t tie;  // seq (kFifo) or ~seq (kReversed)
-    std::uint64_t actor;
-    EventFn fn;
+    std::uint32_t bucket;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.tie > b.tie;
-    }
+
+  static constexpr std::uint32_t kNoBucket = ~std::uint32_t{0};
+  /// timestamp -> bucket-pool index; bucket == kNoBucket marks an empty
+  /// table cell (linear probing, backward-shift deletion).
+  struct TableEntry {
+    SimTime key = 0;
+    std::uint32_t bucket = kNoBucket;
   };
+
+  [[nodiscard]] static bool before(const HeapItem& a, const HeapItem& b) {
+    return a.at < b.at;
+  }
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+
+  [[nodiscard]] bool drained(const Bucket& b) const {
+    return mode_ == TieBreak::kFifo ? b.head == b.events.size()
+                                    : b.events.empty();
+  }
+  std::uint32_t find_or_create_bucket(SimTime at);
+  void release_min_bucket();
+  void table_grow();
+  void table_erase(SimTime at);
 
   void note_pop(SimTime at, std::uint64_t actor);
   void flush_tie_group();
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::uint64_t next_seq_ = 0;
+  std::vector<HeapItem> heap_;       // flat 4-ary min-heap of buckets
+  std::vector<Bucket> buckets_;      // bucket pool
+  std::vector<std::uint32_t> free_;  // recycled pool indices
+  std::vector<TableEntry> table_;    // open-addressing timestamp index
+  std::size_t table_live_ = 0;
+  std::size_t size_ = 0;             // pending events across all buckets
   TieBreak mode_ = TieBreak::kFifo;
   TieStats stats_;
-  // Actor multiplicities among events popped at the head timestamp.
+  // Actors of events popped at the head timestamp, in pop order. The
+  // flush sorts and counts runs — O(1) append per pop, and the
+  // flush-time sort keeps busy timestamps (many actors) linearithmic.
   SimTime group_at_ = -1;
-  std::map<std::uint64_t, std::uint64_t> group_actors_;
+  std::vector<std::uint64_t> group_actors_;
 };
 
 }  // namespace lmk

@@ -1,5 +1,7 @@
 #include "sim/network.hpp"
 
+#include <cmath>
+
 #include "common/check.hpp"
 
 namespace lmk {
@@ -18,8 +20,11 @@ void Network::send(HostId from, HostId to, std::uint64_t bytes,
   if (counter != nullptr) counter->add(bytes);
   SimTime delay = topology_.latency(from, to);
   if (jitter_ > 0 && delay > 0) {
-    delay += static_cast<SimTime>(static_cast<double>(delay) * jitter_ *
-                                  jitter_rng_.uniform());
+    // Round to the nearest microsecond: truncation would floor any
+    // sub-unit jitter draw to zero, silently disabling jitter for
+    // low-latency links (delay * fraction < 1) and biasing the rest low.
+    delay += static_cast<SimTime>(std::llround(
+        static_cast<double>(delay) * jitter_ * jitter_rng_.uniform()));
   }
   // Tag the delivery with the destination host so the event queue can
   // record same-(timestamp, node) tie groups for the race detector.

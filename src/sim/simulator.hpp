@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 
 #include "sim/event_queue.hpp"

@@ -201,6 +201,7 @@ TEST(UnorderedIteration, MultiLineDeclarationAndLoop) {
   auto fs = lint_source(
       "a.cpp",
       "std::unordered_map<std::uint64_t,\n"
+      "                   // lmk-lint: allow(pointer-key-unordered) test\n"
       "                   std::unordered_map<const Node*, Reply>>\n"
       "    pending_;\n"
       "for (auto& [qid, replies] :\n"
@@ -208,7 +209,7 @@ TEST(UnorderedIteration, MultiLineDeclarationAndLoop) {
       "  flush(qid);\n"
       "}\n");
   ASSERT_EQ(fs.size(), 1u);
-  EXPECT_EQ(fs[0].line, 4);
+  EXPECT_EQ(fs[0].line, 5);
 }
 
 TEST(UnorderedIteration, JustificationCommentSuppresses) {
@@ -279,6 +280,34 @@ TEST(PointerKey, AllowCommentSuppresses) {
       "a.cpp",
       "// lmk-lint: allow(pointer-key) diagnostic dump, order not output\n"
       "std::set<Node*> dump;\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+// ----- pointer-key-unordered -----
+
+TEST(PointerKeyUnordered, FlagsUnjustifiedPointerKeyedHashContainers) {
+  EXPECT_TRUE(has_rule(
+      lint_source("a.cpp",
+                  "std::unordered_map<const ChordNode*, Store> stores_;\n"),
+      "pointer-key-unordered"));
+  EXPECT_TRUE(has_rule(
+      lint_source("a.cpp", "std::unordered_set<ChordNode*> seen;\n"),
+      "pointer-key-unordered"));
+}
+
+TEST(PointerKeyUnordered, PointerValuesAndIdKeysAreFine) {
+  EXPECT_TRUE(
+      lint_source("a.cpp",
+                  "std::unordered_map<std::uint64_t, Node*> owner_of;\n")
+          .empty());
+}
+
+TEST(PointerKeyUnordered, AllowCommentSuppresses) {
+  auto fs = lint_source(
+      "a.cpp",
+      "// lmk-lint: allow(pointer-key-unordered) membership test only\n"
+      "std::unordered_set<Node*> seen;\n"
+      "if (seen.count(p) != 0) return;\n");
   EXPECT_TRUE(fs.empty());
 }
 

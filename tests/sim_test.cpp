@@ -2,6 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -353,6 +357,199 @@ TEST(EventQueue, TieStatsCountSameTimestampSameActorGroups) {
   TieStats stats = q.tie_stats();
   EXPECT_EQ(stats.groups, 2u);
   EXPECT_EQ(stats.events, 5u);
+}
+
+// Mirror of the FIFO property above for the race detector's perturbed
+// mode: same-timestamp events pop in REVERSE insertion order, the rest
+// still by time, and the pop sequence is identical across re-runs.
+TEST(EventQueue, PropertyReversedTieOrderMatchesModelAcrossSeeds) {
+  for (std::uint64_t seed : {2ull, 11ull, 4321ull, 0xc0ffeeull}) {
+    std::vector<int> first_run;
+    for (int rerun = 0; rerun < 2; ++rerun) {
+      Rng rng(seed);
+      EventQueue q;
+      q.set_tie_break(TieBreak::kReversed);
+      std::vector<int> fired;
+      std::vector<std::pair<SimTime, int>> model;  // (time, id) pending
+      int next_id = 0;
+      SimTime floor = 0;
+      for (int step = 0; step < 300; ++step) {
+        bool push = q.empty() || rng.below(3) != 0;
+        if (push) {
+          SimTime t = floor + static_cast<SimTime>(10 * rng.below(4));
+          int id = next_id++;
+          q.push(t, [&fired, id] { fired.push_back(id); },
+                 /*actor=*/rng.below(4));
+          model.emplace_back(t, id);
+        } else {
+          SimTime at = 0;
+          q.pop(&at)();
+          floor = at;
+          // Model pop: earliest time, then HIGHEST id (reverse order).
+          auto it = std::min_element(
+              model.begin(), model.end(),
+              [](const auto& a, const auto& b) {
+                return a.first != b.first ? a.first < b.first
+                                          : a.second > b.second;
+              });
+          ASSERT_EQ(it->first, at);
+          ASSERT_EQ(it->second, fired.back());
+          model.erase(it);
+        }
+      }
+      while (!q.empty()) {
+        q.pop(nullptr)();
+        auto it = std::min_element(
+            model.begin(), model.end(),
+            [](const auto& a, const auto& b) {
+              return a.first != b.first ? a.first < b.first
+                                        : a.second > b.second;
+            });
+        ASSERT_EQ(it->second, fired.back());
+        model.erase(it);
+      }
+      if (rerun == 0) {
+        first_run = fired;
+      } else {
+        EXPECT_EQ(fired, first_run) << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(EventQueueDeathTest, SetTieBreakRequiresEmptyQueue) {
+  EventQueue q;
+  q.push(1, [] {});
+  EXPECT_DEATH(q.set_tie_break(TieBreak::kReversed), "empty");
+}
+
+TEST(EventQueue, ClearThenReuseStartsFresh) {
+  EventQueue q;
+  q.push(50, [] {}, 1);
+  q.push(50, [] {}, 1);
+  q.pop(nullptr)();
+  q.pop(nullptr)();
+  q.push(60, [] {});
+  EXPECT_EQ(q.size(), 1u);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  // clear() flushed the (t=50, actor 1) group that was forming.
+  TieStats stats = q.tie_stats();
+  EXPECT_EQ(stats.groups, 1u);
+  EXPECT_EQ(stats.events, 2u);
+  // Reuse after clear: earlier timestamps than before are fine, and
+  // FIFO tie order starts over.
+  std::vector<int> fired;
+  q.push(10, [&] { fired.push_back(0); });
+  q.push(10, [&] { fired.push_back(1); });
+  q.push(5, [&] { fired.push_back(-1); });
+  while (!q.empty()) q.pop(nullptr)();
+  EXPECT_EQ(fired, (std::vector<int>{-1, 0, 1}));
+}
+
+TEST(EventQueue, TieStatsMidTimestampSplitsFormingGroup) {
+  // Documented behavior: tie_stats() flushes the group forming at the
+  // head timestamp, so a mid-timestamp call splits one group in two.
+  // Same schedule, quiescent readout: one group of four.
+  EventQueue quiescent;
+  for (int i = 0; i < 4; ++i) quiescent.push(5, [] {}, 1);
+  while (!quiescent.empty()) quiescent.pop(nullptr)();
+  TieStats whole = quiescent.tie_stats();
+  EXPECT_EQ(whole.groups, 1u);
+  EXPECT_EQ(whole.events, 4u);
+  // Mid-timestamp readout after two of the four pops: the forming
+  // half-group is flushed and counted on its own.
+  EventQueue split;
+  for (int i = 0; i < 4; ++i) split.push(5, [] {}, 1);
+  split.pop(nullptr)();
+  split.pop(nullptr)();
+  TieStats mid = split.tie_stats();
+  EXPECT_EQ(mid.groups, 1u);
+  EXPECT_EQ(mid.events, 2u);
+  while (!split.empty()) split.pop(nullptr)();
+  TieStats total = split.tie_stats();
+  EXPECT_EQ(total.groups, 2u);
+  EXPECT_EQ(total.events, 4u);
+}
+
+// ----- EventClosure storage -----
+
+TEST(EventClosure, SmallCapturesStayInline) {
+  int hits = 0;
+  std::uint64_t a = 1, b = 2, c = 3, d = 4, e = 5;  // 40 bytes + ptr
+  EventClosure fn([&hits, a, b, c, d, e] {
+    hits += static_cast<int>(a + b + c + d + e);
+  });
+  EXPECT_TRUE(fn.is_inline());
+  fn();
+  EXPECT_EQ(hits, 15);
+}
+
+TEST(EventClosure, OversizeCapturesFallBackToHeap) {
+  std::array<std::uint64_t, 12> big{};  // 96 bytes > kInlineBytes
+  big[11] = 7;
+  int seen = 0;
+  EventClosure fn([&seen, big] { seen = static_cast<int>(big[11]); });
+  EXPECT_FALSE(fn.is_inline());
+  fn();
+  EXPECT_EQ(seen, 7);
+}
+
+TEST(EventClosure, MoveTransfersOwnershipAndSupportsMoveOnlyCaptures) {
+  auto value = std::make_unique<int>(42);
+  int seen = 0;
+  EventClosure fn([&seen, value = std::move(value)] { seen = *value; });
+  EventClosure moved = std::move(fn);
+  EXPECT_FALSE(static_cast<bool>(fn));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(moved));
+  moved();
+  EXPECT_EQ(seen, 42);
+  EventClosure assigned;
+  assigned = std::move(moved);
+  assigned();
+  EXPECT_EQ(seen, 42);
+}
+
+// ----- network jitter -----
+
+// The jitter perturbation must ROUND to the nearest microsecond:
+// truncation floors every sub-unit draw to zero, which silently
+// disables jitter on low-latency links and biases the rest low. Pin the
+// exact delivery times for a fixed seed by replaying the generator.
+TEST(Network, JitterRoundsToNearestMicrosecond) {
+  constexpr SimTime kDelay = 10;
+  constexpr double kJitter = 0.15;  // kDelay * kJitter = 1.5 < 2
+  constexpr std::uint64_t kSeed = 99;
+  constexpr int kSends = 64;
+  Simulator sim;
+  ConstantLatencyModel topo(2, kDelay);
+  Network net(sim, topo);
+  net.set_jitter(kJitter, kSeed);
+  std::vector<SimTime> arrivals;
+  for (int i = 0; i < kSends; ++i) {
+    net.send(0, 1, 1, [&] { arrivals.push_back(sim.now()); });
+  }
+  sim.run();
+  std::sort(arrivals.begin(), arrivals.end());
+  // Replay the jitter stream: offsets are llround(delay * j * u).
+  Rng replay(kSeed);
+  std::vector<SimTime> expected;
+  int rounded_up = 0;
+  int truncated_nonzero = 0;
+  for (int i = 0; i < kSends; ++i) {
+    double perturb = static_cast<double>(kDelay) * kJitter *
+                     replay.uniform();
+    expected.push_back(kDelay + std::llround(perturb));
+    if (std::llround(perturb) > static_cast<SimTime>(perturb)) ++rounded_up;
+    if (static_cast<SimTime>(perturb) > 0) ++truncated_nonzero;
+  }
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(arrivals, expected);
+  // The fixture stays meaningful: for this seed some draws land in
+  // [0.5, 1), exactly the ones truncation would zero out.
+  EXPECT_GT(rounded_up, 0);
+  EXPECT_LT(truncated_nonzero, rounded_up + truncated_nonzero);
 }
 
 TEST(Simulator, AuditHookFiresOnCadenceCrossingsAndQuiescence) {

@@ -364,6 +364,47 @@ std::vector<Finding> lint_source(std::string_view path,
     }
   }
 
+  // --- pointer-key-unordered: pointer-keyed hash containers ---
+  // Hash lookups keyed by pointer are deterministic, but any iteration
+  // (or bucket walk) over such a container leaks allocation order into
+  // visit order. Each declaration must carry a justification comment —
+  // // lmk-lint: allow(pointer-key-unordered) — asserting the container
+  // is lookup-only or that every walk over it is order-independent.
+  for (std::string_view kw : {"unordered_map", "unordered_set"}) {
+    std::size_t pos = 0;
+    while ((pos = find_token(stripped, kw, pos)) != std::string_view::npos) {
+      std::size_t tok_pos = pos;
+      pos += kw.size();
+      if (tok_pos < 5 || stripped.substr(tok_pos - 5, 5) != "std::") continue;
+      std::size_t i = skip_ws(stripped, tok_pos + kw.size());
+      if (i >= stripped.size() || stripped[i] != '<') continue;
+      int depth = 1;
+      std::size_t arg_begin = ++i;
+      while (i < stripped.size() && depth > 0) {
+        char c = stripped[i];
+        if (c == '<') {
+          ++depth;
+        } else if (c == '>') {
+          --depth;
+        } else if (c == ',' && depth == 1) {
+          break;
+        }
+        ++i;
+      }
+      std::string_view first_arg =
+          trim(stripped.substr(arg_begin, i - arg_begin));
+      if (first_arg.find('*') != std::string_view::npos) {
+        report(tok_pos, "pointer-key-unordered",
+               "std::" + std::string(kw) + " keyed by a pointer ('" +
+                   std::string(first_arg) +
+                   "'): lookups are deterministic but any iteration leaks "
+                   "allocation order; key by a stable id where walks exist, "
+                   "or justify a lookup-only container with "
+                   "// lmk-lint: allow(pointer-key-unordered)");
+      }
+    }
+  }
+
   // --- unordered-iteration ---
   std::vector<std::string> unordered = collect_unordered_vars(stripped);
   if (!opts.companion_decls.empty()) {

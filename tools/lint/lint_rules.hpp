@@ -40,6 +40,15 @@
 //                        pointees, which varies run to run (ASLR, heap
 //                        layout). Key by a stable identifier instead.
 //
+//   pointer-key-unordered  Pointer-keyed std::unordered_map /
+//                        std::unordered_set: hash lookups are
+//                        deterministic, but any iteration leaks
+//                        allocation order. Every declaration must carry
+//                        `// lmk-lint: allow(pointer-key-unordered)`
+//                        plus a reason asserting the container is
+//                        lookup-only (or every walk over it is
+//                        order-independent).
+//
 // Any rule can be suppressed for one line with
 // `// lmk-lint: allow(<rule>) <reason>` — reserved for sites reviewed
 // to be safe; prefer fixing.
