@@ -4,7 +4,8 @@
 // between balance quality and query routing performance (§3.4).
 //
 // For each (δ, P_l): migrations performed, resulting load flatness, and
-// the query routing cost afterwards.
+// the query routing cost afterwards. Each setting is one sweep cell
+// over the shared dataset / queries / truth / topology.
 #include <algorithm>
 
 #include "bench_common.hpp"
@@ -17,8 +18,15 @@ int main() {
   Scale scale = Scale::resolve();
   scale.print("Ablation: balancing threshold delta x probing level Pl");
   SyntheticWorkload w(scale);
-  auto truth = SimilarityExperiment<L2Space>::compute_truth(
-      w.space, w.data.points, w.queries, 10);
+  auto dataset = share(w.data.points);
+  auto queries = share(w.queries);
+  auto truth = share(SimilarityExperiment<L2Space>::compute_truth(
+      w.space, *dataset, *queries, 10));
+
+  ExperimentConfig proto;
+  proto.nodes = scale.nodes;
+  proto.seed = scale.seed;
+  auto topology = SimilarityExperiment<L2Space>::make_topology(proto);
 
   TablePrinter table({"delta", "Pl", "migrations", "max_load", "gini",
                       "recall@5%", "hops@5%", "qry_msgs@5%"});
@@ -31,28 +39,34 @@ int main() {
                               {0.0, 2, true},  {0.0, 4, true},
                               {0.5, 4, true},  {1.0, 4, true},
                               {2.0, 4, true},  {1.0, 1, true}};
+  SweepDriver sweep;
   for (const Setting& s : settings) {
-    ExperimentConfig ecfg;
-    ecfg.nodes = scale.nodes;
-    ecfg.seed = scale.seed;
-    ecfg.load_balance = s.balance;
-    ecfg.delta = s.delta;
-    ecfg.probe_level = std::max(1, s.pl);
-    SimilarityExperiment<L2Space> exp(
-        ecfg, w.space, w.data.points,
-        w.make_mapper(Selection::kKMeans, 5, scale.sample, scale.seed + 5),
-        "ablation-balance");
-    exp.set_queries(w.queries, truth);
-    auto curve = exp.load_curve();
-    std::vector<double> loads(curve.begin(), curve.end());
-    QueryStats stats = exp.run_batch(0.05 * w.max_dist);
-    table.add_row({s.balance ? fmt(s.delta, 1) : "off",
-                   s.balance ? std::to_string(s.pl) : "-",
-                   std::to_string(exp.migrations()), fmt(loads.front(), 0),
-                   fmt(gini(loads), 3), fmt(stats.recall.mean(), 3),
-                   fmt(stats.hops.mean(), 1),
-                   fmt(stats.query_messages.mean(), 1)});
+    sweep.add_cell([&w, &scale, dataset, queries, truth, topology, proto,
+                    s]() {
+      ExperimentConfig ecfg = proto;
+      ecfg.load_balance = s.balance;
+      ecfg.delta = s.delta;
+      ecfg.probe_level = std::max(1, s.pl);
+      SimilarityExperiment<L2Space> exp(
+          ecfg, w.space, dataset,
+          w.make_mapper(Selection::kKMeans, 5, scale.sample, scale.seed + 5),
+          "ablation-balance", topology);
+      exp.set_queries(queries, truth);
+      auto curve = exp.load_curve();
+      std::vector<double> loads(curve.begin(), curve.end());
+      QueryStats stats = exp.run_batch(0.05 * w.max_dist);
+      CellOutput out;
+      out.rows.push_back({s.balance ? fmt(s.delta, 1) : "off",
+                          s.balance ? std::to_string(s.pl) : "-",
+                          std::to_string(exp.migrations()),
+                          fmt(loads.front(), 0), fmt(gini(loads), 3),
+                          fmt(stats.recall.mean(), 3),
+                          fmt(stats.hops.mean(), 1),
+                          fmt(stats.query_messages.mean(), 1)});
+      return out;
+    });
   }
+  sweep.run_into(table);
   table.print();
   std::printf(
       "\nexpected: larger delta / smaller Pl -> fewer migrations, flatter "

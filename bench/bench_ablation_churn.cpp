@@ -3,6 +3,8 @@
 // rejoin at random points, at increasing churn rates. Measured: query
 // completion, result completeness (vs a brute-force count over the
 // entries that are alive throughout), lost subqueries, and cost.
+// Each churn rate is one sweep cell over the shared delay-space
+// topology (immutable after construction).
 #include <optional>
 #include <set>
 
@@ -16,96 +18,104 @@ int main() {
   Scale scale = Scale::resolve();
   scale.print("Ablation: queries under churn (graceful leave + rejoin)");
 
+  DelaySpaceModel::Options topo_opts;
+  topo_opts.hosts = scale.nodes;
+  topo_opts.seed = scale.seed;
+  const DelaySpaceModel topo(topo_opts);
+
   const double rates[] = {0.0, 0.5, 2.0, 8.0};  // events per second
   TablePrinter table({"churn_evt_per_s", "queries", "completed",
                       "result_coverage", "lost_subq", "avg_msgs",
                       "avg_hops"});
+  SweepDriver sweep;
   for (double rate : rates) {
-    Simulator sim;
-    DelaySpaceModel::Options topo_opts;
-    topo_opts.hosts = scale.nodes;
-    topo_opts.seed = scale.seed;
-    DelaySpaceModel topo(topo_opts);
-    Network net(sim, topo);
-    Ring::Options ropts;
-    ropts.seed = scale.seed;
-    Ring ring(net, ropts);
-    for (HostId h = 0; h < scale.nodes; ++h) ring.create_node(h);
-    ring.bootstrap();
-    IndexPlatform platform(ring);
-    std::uint32_t scheme =
-        platform.register_scheme("churn", uniform_boundary(2, 0, 1), false);
-    Rng rng(scale.seed + 40);
-    std::size_t object_count = scale.objects / 4;
-    for (std::size_t i = 0; i < object_count; ++i) {
-      platform.insert(scheme, i, IndexPoint{rng.uniform(), rng.uniform()});
-    }
+    sweep.add_cell([&scale, &topo, rate]() {
+      Simulator sim;
+      Network net(sim, topo);
+      Ring::Options ropts;
+      ropts.seed = scale.seed;
+      Ring ring(net, ropts);
+      for (HostId h = 0; h < scale.nodes; ++h) ring.create_node(h);
+      ring.bootstrap();
+      IndexPlatform platform(ring);
+      std::uint32_t scheme =
+          platform.register_scheme("churn", uniform_boundary(2, 0, 1),
+                                   false);
+      Rng rng(scale.seed + 40);
+      std::size_t object_count = scale.objects / 4;
+      for (std::size_t i = 0; i < object_count; ++i) {
+        platform.insert(scheme, i, IndexPoint{rng.uniform(), rng.uniform()});
+      }
 
-    // Churn process: every exponential(1/rate) seconds, a random node
-    // leaves gracefully and immediately rejoins at a random identifier.
-    const int kQueries = 40;
-    const SimTime churn_end = (kQueries + 1) * 2 * kSecond;
-    if (rate > 0) {
-      auto churn_step = std::make_shared<std::function<void()>>();
-      Rng churn_rng(scale.seed + 41);
-      *churn_step = [&ring, &platform, churn_rng, churn_step, &sim, rate,
-                     churn_end]() mutable {
-        if (sim.now() >= churn_end) return;  // stop after the batch
-        auto alive = ring.alive_nodes();
-        if (alive.size() > 3) {
-          ChordNode* victim = alive[churn_rng.below(alive.size())];
-          ChordNode* succ = victim->successor().node;
-          platform.drain_all(*victim, *succ);
-          ring.leave(*victim);
-          ring.rejoin(*victim, churn_rng.next());
-          // The rejoined node now owns a slice of its NEW successor's
-          // range; pull those entries over so placement stays correct.
-          ChordNode* new_succ = victim->successor().node;
-          platform.transfer_owned(*new_succ, *victim);
-          ring.refresh_all_fingers();
-        }
+      // Churn process: every exponential(1/rate) seconds, a random node
+      // leaves gracefully and immediately rejoins at a random identifier.
+      const int kQueries = 40;
+      const SimTime churn_end = (kQueries + 1) * 2 * kSecond;
+      if (rate > 0) {
+        auto churn_step = std::make_shared<std::function<void()>>();
+        Rng churn_rng(scale.seed + 41);
+        *churn_step = [&ring, &platform, churn_rng, churn_step, &sim, rate,
+                       churn_end]() mutable {
+          if (sim.now() >= churn_end) return;  // stop after the batch
+          auto alive = ring.alive_nodes();
+          if (alive.size() > 3) {
+            ChordNode* victim = alive[churn_rng.below(alive.size())];
+            ChordNode* succ = victim->successor().node;
+            platform.drain_all(*victim, *succ);
+            ring.leave(*victim);
+            ring.rejoin(*victim, churn_rng.next());
+            // The rejoined node now owns a slice of its NEW successor's
+            // range; pull those entries over so placement stays correct.
+            ChordNode* new_succ = victim->successor().node;
+            platform.transfer_owned(*new_succ, *victim);
+            ring.refresh_all_fingers();
+          }
+          sim.schedule_after(
+              static_cast<SimTime>(churn_rng.exponential(kSecond / rate)),
+              [churn_step]() { (*churn_step)(); });
+        };
         sim.schedule_after(
-            static_cast<SimTime>(churn_rng.exponential(kSecond / rate)),
+            static_cast<SimTime>(Rng(scale.seed + 42).exponential(
+                kSecond / rate)),
             [churn_step]() { (*churn_step)(); });
-      };
-      sim.schedule_after(
-          static_cast<SimTime>(Rng(scale.seed + 42).exponential(
-              kSecond / rate)),
-          [churn_step]() { (*churn_step)(); });
-    }
+      }
 
-    // Query batch: every 2 seconds, a whole-space query (coverage is
-    // easy to judge: every live entry must be found).
-    int completed = 0;
-    std::uint64_t lost = 0;
-    double coverage = 0, msgs = 0, hops = 0;
-    Rng qrng(scale.seed + 43);
-    for (int qn = 0; qn < kQueries; ++qn) {
-      sim.schedule_at((qn + 1) * 2 * kSecond, [&, qn]() {
-        auto nodes = ring.alive_nodes();
-        platform.region_query(
-            *nodes[qrng.below(nodes.size())], scheme,
-            Region{{Interval{0, 1}, Interval{0, 1}}}, IndexPoint{0.5, 0.5},
-            ReplyMode::kAllMatches,
-            [&](const IndexPlatform::QueryOutcome& o) {
-              ++completed;
-              lost += static_cast<std::uint64_t>(o.lost_subqueries);
-              coverage += static_cast<double>(o.results.size()) /
-                          static_cast<double>(object_count);
-              msgs += static_cast<double>(o.query_messages);
-              hops += o.hops;
-            });
-      });
-    }
-    sim.run_until((kQueries + 2) * 2 * kSecond);
-    sim.run();
-    table.add_row({fmt(rate, 1), std::to_string(kQueries),
-                   std::to_string(completed),
-                   fmt(coverage / std::max(1, completed), 4),
-                   std::to_string(lost),
-                   fmt(msgs / std::max(1, completed), 1),
-                   fmt(hops / std::max(1, completed), 1)});
+      // Query batch: every 2 seconds, a whole-space query (coverage is
+      // easy to judge: every live entry must be found).
+      int completed = 0;
+      std::uint64_t lost = 0;
+      double coverage = 0, msgs = 0, hops = 0;
+      Rng qrng(scale.seed + 43);
+      for (int qn = 0; qn < kQueries; ++qn) {
+        sim.schedule_at((qn + 1) * 2 * kSecond, [&, qn]() {
+          auto nodes = ring.alive_nodes();
+          platform.region_query(
+              *nodes[qrng.below(nodes.size())], scheme,
+              Region{{Interval{0, 1}, Interval{0, 1}}}, IndexPoint{0.5, 0.5},
+              ReplyMode::kAllMatches,
+              [&](const IndexPlatform::QueryOutcome& o) {
+                ++completed;
+                lost += static_cast<std::uint64_t>(o.lost_subqueries);
+                coverage += static_cast<double>(o.results.size()) /
+                            static_cast<double>(object_count);
+                msgs += static_cast<double>(o.query_messages);
+                hops += o.hops;
+              });
+        });
+      }
+      sim.run_until((kQueries + 2) * 2 * kSecond);
+      sim.run();
+      CellOutput out;
+      out.rows.push_back({fmt(rate, 1), std::to_string(kQueries),
+                          std::to_string(completed),
+                          fmt(coverage / std::max(1, completed), 4),
+                          std::to_string(lost),
+                          fmt(msgs / std::max(1, completed), 1),
+                          fmt(hops / std::max(1, completed), 1)});
+      return out;
+    });
   }
+  sweep.run_into(table);
   table.print();
   std::printf(
       "\nexpected: graceful churn preserves entries (drain + transfer); "

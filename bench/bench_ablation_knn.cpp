@@ -2,7 +2,8 @@
 // radius r0 / growth factor and the total cost (rounds, messages,
 // latency). Too small an r0 wastes rounds; too large ships needless
 // candidates. All settings return the exact 10-NN (verified against
-// brute force).
+// brute force). The settings intentionally share one index stack (sim
+// time accumulates across them), so the bench is a single sweep cell.
 #include <optional>
 
 #include "bench_common.hpp"
@@ -17,64 +18,72 @@ int main() {
   scale.print("Ablation: k-NN radius expansion (r0, growth)");
   SyntheticWorkload w(scale);
 
-  Simulator sim;
-  DelaySpaceModel::Options topo_opts;
-  topo_opts.hosts = scale.nodes;
-  topo_opts.seed = scale.seed;
-  DelaySpaceModel topo(topo_opts);
-  Network net(sim, topo);
-  Ring::Options ropts;
-  ropts.seed = scale.seed;
-  Ring ring(net, ropts);
-  for (HostId h = 0; h < scale.nodes; ++h) ring.create_node(h);
-  ring.bootstrap();
-  IndexPlatform platform(ring);
-  LandmarkIndex<L2Space> index(
-      platform, w.space,
-      w.make_mapper(Selection::kKMeans, 10, scale.sample, scale.seed + 10),
-      "knn");
-  index.bind_objects([&w](std::uint64_t id) -> const DenseVector& {
-    return w.data.points[id];
-  });
-  for (std::size_t i = 0; i < w.data.points.size(); ++i) {
-    index.insert(i, w.data.points[i]);
-  }
-
-  std::size_t probe_count = std::min<std::size_t>(40, w.queries.size());
-  struct Setting {
-    double r0_factor;
-    double growth;
-  };
-  const Setting settings[] = {{0.001, 2.0}, {0.005, 2.0}, {0.02, 2.0},
-                              {0.05, 2.0},  {0.005, 4.0}, {0.001, 8.0}};
-
   TablePrinter table({"r0", "growth", "exact", "avg_rounds", "avg_msgs",
                       "avg_qry_B", "avg_res_B", "avg_lat_ms"});
-  for (const Setting& s : settings) {
-    double rounds = 0, msgs = 0, qb = 0, rb = 0, lat = 0;
-    int exact = 0;
-    auto nodes = ring.alive_nodes();
-    Rng rng(scale.seed + 20);
-    for (std::size_t qi = 0; qi < probe_count; ++qi) {
-      const DenseVector& q = w.queries[qi];
-      std::optional<LandmarkIndex<L2Space>::KnnOutcome> got;
-      index.knn_query(*nodes[rng.below(nodes.size())], q, 10,
-                      s.r0_factor * w.max_dist, s.growth, w.max_dist,
-                      [&](const auto& o) { got = o; });
-      sim.run();
-      rounds += got->rounds;
-      msgs += static_cast<double>(got->totals.query_messages);
-      qb += static_cast<double>(got->totals.query_bytes);
-      rb += static_cast<double>(got->totals.result_bytes);
-      lat += static_cast<double>(got->totals.max_latency) / kMillisecond;
-      if (got->exact) ++exact;
+  SweepDriver sweep;
+  sweep.add_cell([&w, &scale]() {
+    Simulator sim;
+    DelaySpaceModel::Options topo_opts;
+    topo_opts.hosts = scale.nodes;
+    topo_opts.seed = scale.seed;
+    DelaySpaceModel topo(topo_opts);
+    Network net(sim, topo);
+    Ring::Options ropts;
+    ropts.seed = scale.seed;
+    Ring ring(net, ropts);
+    for (HostId h = 0; h < scale.nodes; ++h) ring.create_node(h);
+    ring.bootstrap();
+    IndexPlatform platform(ring);
+    LandmarkIndex<L2Space> index(
+        platform, w.space,
+        w.make_mapper(Selection::kKMeans, 10, scale.sample, scale.seed + 10),
+        "knn");
+    index.bind_objects([&w](std::uint64_t id) -> const DenseVector& {
+      return w.data.points[id];
+    });
+    for (std::size_t i = 0; i < w.data.points.size(); ++i) {
+      index.insert(i, w.data.points[i]);
     }
-    auto n = static_cast<double>(probe_count);
-    table.add_row({fmt(s.r0_factor * 100, 1) + "%", fmt(s.growth, 0),
-                   std::to_string(exact) + "/" + std::to_string(probe_count),
-                   fmt(rounds / n, 1), fmt(msgs / n, 1), fmt(qb / n, 0),
-                   fmt(rb / n, 0), fmt(lat / n, 0)});
-  }
+
+    std::size_t probe_count = std::min<std::size_t>(40, w.queries.size());
+    struct Setting {
+      double r0_factor;
+      double growth;
+    };
+    const Setting settings[] = {{0.001, 2.0}, {0.005, 2.0}, {0.02, 2.0},
+                                {0.05, 2.0},  {0.005, 4.0}, {0.001, 8.0}};
+
+    CellOutput out;
+    for (const Setting& s : settings) {
+      double rounds = 0, msgs = 0, qb = 0, rb = 0, lat = 0;
+      int exact = 0;
+      auto nodes = ring.alive_nodes();
+      Rng rng(scale.seed + 20);
+      for (std::size_t qi = 0; qi < probe_count; ++qi) {
+        const DenseVector& q = w.queries[qi];
+        std::optional<LandmarkIndex<L2Space>::KnnOutcome> got;
+        index.knn_query(*nodes[rng.below(nodes.size())], q, 10,
+                        s.r0_factor * w.max_dist, s.growth, w.max_dist,
+                        [&](const auto& o) { got = o; });
+        sim.run();
+        rounds += got->rounds;
+        msgs += static_cast<double>(got->totals.query_messages);
+        qb += static_cast<double>(got->totals.query_bytes);
+        rb += static_cast<double>(got->totals.result_bytes);
+        lat += static_cast<double>(got->totals.max_latency) / kMillisecond;
+        if (got->exact) ++exact;
+      }
+      auto n = static_cast<double>(probe_count);
+      out.rows.push_back({fmt(s.r0_factor * 100, 1) + "%",
+                          fmt(s.growth, 0),
+                          std::to_string(exact) + "/" +
+                              std::to_string(probe_count),
+                          fmt(rounds / n, 1), fmt(msgs / n, 1),
+                          fmt(qb / n, 0), fmt(rb / n, 0), fmt(lat / n, 0)});
+    }
+    return out;
+  });
+  sweep.run_into(table);
   table.print();
   std::printf(
       "\nexpected: tiny r0 costs extra rounds (latency adds up), large r0 "

@@ -3,7 +3,8 @@
 // Few landmarks filter poorly (large candidate supersets, wasted
 // bandwidth); many landmarks push the index space into high
 // dimensionality where range queries touch ever more cuboids (routing
-// cost). The sweep shows the tradeoff the paper describes.
+// cost). The sweep shows the tradeoff the paper describes; each k is
+// one sweep cell over the shared dataset / queries / truth / topology.
 #include "bench_common.hpp"
 #include "common/table.hpp"
 
@@ -13,22 +14,33 @@ int main() {
   Scale scale = Scale::resolve();
   scale.print("Ablation: number of landmarks k");
   SyntheticWorkload w(scale);
-  auto truth = SimilarityExperiment<L2Space>::compute_truth(
-      w.space, w.data.points, w.queries, 10);
+  auto dataset = share(w.data.points);
+  auto queries = share(w.queries);
+  auto truth = share(SimilarityExperiment<L2Space>::compute_truth(
+      w.space, *dataset, *queries, 10));
+
+  ExperimentConfig proto;
+  proto.nodes = scale.nodes;
+  proto.seed = scale.seed;
+  auto topology = SimilarityExperiment<L2Space>::make_topology(proto);
 
   TablePrinter table(QueryStats::header());
+  SweepDriver sweep;
   for (std::size_t k : {2ul, 3ul, 5ul, 10ul, 15ul, 20ul}) {
-    ExperimentConfig ecfg;
-    ecfg.nodes = scale.nodes;
-    ecfg.seed = scale.seed;
-    SimilarityExperiment<L2Space> exp(
-        ecfg, w.space, w.data.points,
-        w.make_mapper(Selection::kKMeans, k, scale.sample, scale.seed + k),
-        "k" + std::to_string(k));
-    exp.set_queries(w.queries, truth);
-    QueryStats stats = exp.run_batch(0.05 * w.max_dist);
-    table.add_row(stats.row("k=" + std::to_string(k) + " @5%"));
+    sweep.add_cell([&w, &scale, dataset, queries, truth, topology, proto,
+                    k]() {
+      SimilarityExperiment<L2Space> exp(
+          proto, w.space, dataset,
+          w.make_mapper(Selection::kKMeans, k, scale.sample, scale.seed + k),
+          "k" + std::to_string(k), topology);
+      exp.set_queries(queries, truth);
+      QueryStats stats = exp.run_batch(0.05 * w.max_dist);
+      CellOutput out;
+      out.rows.push_back(stats.row("k=" + std::to_string(k) + " @5%"));
+      return out;
+    });
   }
+  sweep.run_into(table);
   table.print();
   std::printf(
       "\nexpected: candidate count (cand) shrinks as k grows (better "

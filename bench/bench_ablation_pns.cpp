@@ -1,6 +1,7 @@
 // Ablation: proximity neighbour selection (Chord-PNS, the paper's
 // protocol choice). PNS picks latency-close fingers, which should lower
 // response time and maximum latency without changing hop counts much.
+// The two settings run as concurrent sweep cells over shared inputs.
 #include "bench_common.hpp"
 #include "common/table.hpp"
 
@@ -10,26 +11,38 @@ int main() {
   Scale scale = Scale::resolve();
   scale.print("Ablation: Chord-PNS on/off");
   SyntheticWorkload w(scale);
-  auto truth = SimilarityExperiment<L2Space>::compute_truth(
-      w.space, w.data.points, w.queries, 10);
+  auto dataset = share(w.data.points);
+  auto queries = share(w.queries);
+  auto truth = share(SimilarityExperiment<L2Space>::compute_truth(
+      w.space, *dataset, *queries, 10));
+
+  ExperimentConfig proto;
+  proto.nodes = scale.nodes;
+  proto.seed = scale.seed;
+  auto topology = SimilarityExperiment<L2Space>::make_topology(proto);
 
   TablePrinter table(QueryStats::header());
+  SweepDriver sweep;
   for (bool pns : {true, false}) {
-    ExperimentConfig ecfg;
-    ecfg.nodes = scale.nodes;
-    ecfg.seed = scale.seed;
-    ecfg.pns = pns;
-    SimilarityExperiment<L2Space> exp(
-        ecfg, w.space, w.data.points,
-        w.make_mapper(Selection::kKMeans, 5, scale.sample, scale.seed + 5),
-        pns ? "pns-on" : "pns-off");
-    exp.set_queries(w.queries, truth);
-    for (double f : {0.02, 0.05, 0.10}) {
-      QueryStats stats = exp.run_batch(f * w.max_dist);
-      table.add_row(stats.row(std::string(pns ? "PNS " : "noPNS ") + "@" +
-                              fmt(f * 100, 0) + "%"));
-    }
+    sweep.add_cell([&w, &scale, dataset, queries, truth, topology, proto,
+                    pns]() {
+      ExperimentConfig ecfg = proto;
+      ecfg.pns = pns;
+      SimilarityExperiment<L2Space> exp(
+          ecfg, w.space, dataset,
+          w.make_mapper(Selection::kKMeans, 5, scale.sample, scale.seed + 5),
+          pns ? "pns-on" : "pns-off", topology);
+      exp.set_queries(queries, truth);
+      CellOutput out;
+      for (double f : {0.02, 0.05, 0.10}) {
+        QueryStats stats = exp.run_batch(f * w.max_dist);
+        out.rows.push_back(stats.row(std::string(pns ? "PNS " : "noPNS ") +
+                                     "@" + fmt(f * 100, 0) + "%"));
+      }
+      return out;
+    });
   }
+  sweep.run_into(table);
   table.print();
   std::printf("\nexpected: PNS lowers response/max latency at equal hop "
               "counts.\n");

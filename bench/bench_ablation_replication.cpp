@@ -2,7 +2,8 @@
 // fraction of the overlay; replicated entries survive as long as no
 // `replication` consecutive nodes die before repair. Measured: result
 // coverage after the crash wave (before and after repair), and the
-// storage overhead replication costs.
+// storage overhead replication costs. Each (degree, crash fraction)
+// pair is one sweep cell over the shared constant-latency topology.
 #include <optional>
 
 #include "bench_common.hpp"
@@ -18,61 +19,68 @@ int main() {
   const std::size_t degrees[] = {1, 2, 3};
   const double crash_fractions[] = {0.05, 0.15, 0.30};
   std::size_t object_count = scale.objects / 4;
+  const ConstantLatencyModel topo(scale.nodes, 20 * kMillisecond);
 
   TablePrinter table({"replication", "storage_x", "crash_frac",
                       "coverage_after_crash", "coverage_after_repair"});
+  SweepDriver sweep;
   for (std::size_t r : degrees) {
     for (double frac : crash_fractions) {
-      Simulator sim;
-      ConstantLatencyModel topo(scale.nodes, 20 * kMillisecond);
-      Network net(sim, topo);
-      Ring::Options ropts;
-      ropts.seed = scale.seed;
-      Ring ring(net, ropts);
-      for (HostId h = 0; h < scale.nodes; ++h) ring.create_node(h);
-      ring.bootstrap();
-      IndexPlatform::Options popts;
-      popts.replication = r;
-      IndexPlatform platform(ring, popts);
-      std::uint32_t scheme = platform.register_scheme(
-          "repl", uniform_boundary(2, 0, 1), false);
-      Rng rng(scale.seed + 60);
-      for (std::size_t i = 0; i < object_count; ++i) {
-        platform.insert(scheme, i, IndexPoint{rng.uniform(), rng.uniform()});
-      }
-      double storage =
-          static_cast<double>(platform.scheme_entries(scheme)) /
-          static_cast<double>(object_count);
+      sweep.add_cell([&scale, &topo, object_count, r, frac]() {
+        Simulator sim;
+        Network net(sim, topo);
+        Ring::Options ropts;
+        ropts.seed = scale.seed;
+        Ring ring(net, ropts);
+        for (HostId h = 0; h < scale.nodes; ++h) ring.create_node(h);
+        ring.bootstrap();
+        IndexPlatform::Options popts;
+        popts.replication = r;
+        IndexPlatform platform(ring, popts);
+        std::uint32_t scheme = platform.register_scheme(
+            "repl", uniform_boundary(2, 0, 1), false);
+        Rng rng(scale.seed + 60);
+        for (std::size_t i = 0; i < object_count; ++i) {
+          platform.insert(scheme, i,
+                          IndexPoint{rng.uniform(), rng.uniform()});
+        }
+        double storage =
+            static_cast<double>(platform.scheme_entries(scheme)) /
+            static_cast<double>(object_count);
 
-      // Crash wave.
-      auto kill_count = static_cast<std::size_t>(
-          static_cast<double>(scale.nodes) * frac);
-      for (std::size_t k = 0; k < kill_count; ++k) {
-        auto alive = ring.alive_nodes();
-        if (alive.size() <= 3) break;
-        ring.fail(*alive[rng.below(alive.size())]);
-      }
-      for (ChordNode* n : ring.alive_nodes()) ring.fix_neighbors(*n);
-      ring.refresh_all_fingers();
+        // Crash wave.
+        auto kill_count = static_cast<std::size_t>(
+            static_cast<double>(scale.nodes) * frac);
+        for (std::size_t k = 0; k < kill_count; ++k) {
+          auto alive = ring.alive_nodes();
+          if (alive.size() <= 3) break;
+          ring.fail(*alive[rng.below(alive.size())]);
+        }
+        for (ChordNode* n : ring.alive_nodes()) ring.fix_neighbors(*n);
+        ring.refresh_all_fingers();
 
-      auto coverage = [&]() {
-        std::optional<IndexPlatform::QueryOutcome> outcome;
-        platform.region_query(*ring.alive_nodes()[0], scheme,
-                              Region{{Interval{0, 1}, Interval{0, 1}}},
-                              IndexPoint{0.5, 0.5}, ReplyMode::kAllMatches,
-                              [&](const auto& o) { outcome = o; });
-        sim.run();
-        return static_cast<double>(outcome->results.size()) /
-               static_cast<double>(object_count);
-      };
-      double after_crash = coverage();
-      platform.repair_replication();
-      double after_repair = coverage();
-      table.add_row({std::to_string(r), fmt(storage, 2), fmt(frac * 100, 0) +
-                         "%",
-                     fmt(after_crash, 4), fmt(after_repair, 4)});
+        auto coverage = [&]() {
+          std::optional<IndexPlatform::QueryOutcome> outcome;
+          platform.region_query(*ring.alive_nodes()[0], scheme,
+                                Region{{Interval{0, 1}, Interval{0, 1}}},
+                                IndexPoint{0.5, 0.5}, ReplyMode::kAllMatches,
+                                [&](const auto& o) { outcome = o; });
+          sim.run();
+          return static_cast<double>(outcome->results.size()) /
+                 static_cast<double>(object_count);
+        };
+        double after_crash = coverage();
+        platform.repair_replication();
+        double after_repair = coverage();
+        CellOutput out;
+        out.rows.push_back({std::to_string(r), fmt(storage, 2),
+                            fmt(frac * 100, 0) + "%", fmt(after_crash, 4),
+                            fmt(after_repair, 4)});
+        return out;
+      });
     }
   }
+  sweep.run_into(table);
   table.print();
   std::printf(
       "\nexpected: r=1 loses ~the crash fraction of entries permanently; "

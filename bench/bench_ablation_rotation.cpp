@@ -4,7 +4,8 @@
 // distribution (entries dense near the upper boundary — the paper's
 // high-dimensional hyperball effect). Without rotation their hot cuboids
 // map to the same identifier range and pile onto the same nodes; with
-// rotation (φ = hash of the index name) the hot ranges spread.
+// rotation (φ = hash of the index name) the hot ranges spread. The two
+// settings run as concurrent sweep cells over the shared topology.
 #include <algorithm>
 
 #include "bench_common.hpp"
@@ -20,66 +21,73 @@ int main() {
 
   const std::size_t kSchemes = 6;
   const std::size_t kEntriesPerScheme = scale.objects / 4;
+  const ConstantLatencyModel topo(scale.nodes, 20 * kMillisecond);
 
   TablePrinter table({"rotation", "schemes", "max_node_load", "p99", "gini",
                       "hot_overlap"});
+  SweepDriver sweep;
   for (bool rotate : {false, true}) {
-    Simulator sim;
-    ConstantLatencyModel topo(scale.nodes, 20 * kMillisecond);
-    Network net(sim, topo);
-    Ring::Options ropts;
-    ropts.seed = scale.seed;
-    Ring ring(net, ropts);
-    for (HostId h = 0; h < scale.nodes; ++h) ring.create_node(h);
-    ring.bootstrap();
-    IndexPlatform platform(ring);
+    sweep.add_cell([&scale, &topo, kSchemes, kEntriesPerScheme, rotate]() {
+      Simulator sim;
+      Network net(sim, topo);
+      Ring::Options ropts;
+      ropts.seed = scale.seed;
+      Ring ring(net, ropts);
+      for (HostId h = 0; h < scale.nodes; ++h) ring.create_node(h);
+      ring.bootstrap();
+      IndexPlatform platform(ring);
 
-    Rng rng(scale.seed + 9);
-    std::vector<std::uint32_t> scheme_ids;
-    for (std::size_t s = 0; s < kSchemes; ++s) {
-      scheme_ids.push_back(platform.register_scheme(
-          "hot-scheme-" + std::to_string(s), uniform_boundary(3, 0, 1),
-          rotate));
-    }
-    for (std::size_t s = 0; s < kSchemes; ++s) {
-      for (std::size_t i = 0; i < kEntriesPerScheme; ++i) {
-        // Skewed towards the upper corner in every dimension.
-        IndexPoint p(3);
-        for (auto& v : p) v = 1.0 - std::abs(rng.normal(0, 0.04));
-        platform.insert(scheme_ids[s], i, p);
+      Rng rng(scale.seed + 9);
+      std::vector<std::uint32_t> scheme_ids;
+      for (std::size_t s = 0; s < kSchemes; ++s) {
+        scheme_ids.push_back(platform.register_scheme(
+            "hot-scheme-" + std::to_string(s), uniform_boundary(3, 0, 1),
+            rotate));
       }
-    }
+      for (std::size_t s = 0; s < kSchemes; ++s) {
+        for (std::size_t i = 0; i < kEntriesPerScheme; ++i) {
+          // Skewed towards the upper corner in every dimension.
+          IndexPoint p(3);
+          for (auto& v : p) v = 1.0 - std::abs(rng.normal(0, 0.04));
+          platform.insert(scheme_ids[s], i, p);
+        }
+      }
 
-    std::vector<double> loads;
-    for (std::size_t l : platform.load_distribution()) {
-      loads.push_back(static_cast<double>(l));
-    }
-    // Hot overlap: of the 10 most loaded nodes of each scheme, how many
-    // appear in the hot-10 of more than one scheme?
-    std::vector<std::vector<const ChordNode*>> hot(kSchemes);
-    for (std::size_t s = 0; s < kSchemes; ++s) {
-      std::vector<std::pair<std::size_t, const ChordNode*>> per_node;
-      for (ChordNode* n : ring.alive_nodes()) {
-        per_node.emplace_back(platform.store(*n, scheme_ids[s]).size(), n);
+      std::vector<double> loads;
+      for (std::size_t l : platform.load_distribution()) {
+        loads.push_back(static_cast<double>(l));
       }
-      std::sort(per_node.rbegin(), per_node.rend());
-      for (int i = 0; i < 10; ++i) hot[s].push_back(per_node[i].second);
-    }
-    int overlap = 0;
-    for (std::size_t a = 0; a < kSchemes; ++a) {
-      for (std::size_t b = a + 1; b < kSchemes; ++b) {
-        for (const ChordNode* n : hot[a]) {
-          if (std::find(hot[b].begin(), hot[b].end(), n) != hot[b].end()) {
-            ++overlap;
+      // Hot overlap: of the 10 most loaded nodes of each scheme, how many
+      // appear in the hot-10 of more than one scheme?
+      std::vector<std::vector<const ChordNode*>> hot(kSchemes);
+      for (std::size_t s = 0; s < kSchemes; ++s) {
+        std::vector<std::pair<std::size_t, const ChordNode*>> per_node;
+        for (ChordNode* n : ring.alive_nodes()) {
+          per_node.emplace_back(platform.store(*n, scheme_ids[s]).size(), n);
+        }
+        std::sort(per_node.rbegin(), per_node.rend());
+        for (int i = 0; i < 10; ++i) hot[s].push_back(per_node[i].second);
+      }
+      int overlap = 0;
+      for (std::size_t a = 0; a < kSchemes; ++a) {
+        for (std::size_t b = a + 1; b < kSchemes; ++b) {
+          for (const ChordNode* n : hot[a]) {
+            if (std::find(hot[b].begin(), hot[b].end(), n) != hot[b].end()) {
+              ++overlap;
+            }
           }
         }
       }
-    }
-    table.add_row({rotate ? "on" : "off", std::to_string(kSchemes),
-                   fmt(*std::max_element(loads.begin(), loads.end()), 0),
-                   fmt(percentile(loads, 99), 0), fmt(gini(loads), 3),
-                   std::to_string(overlap)});
+      CellOutput out;
+      out.rows.push_back(
+          {rotate ? "on" : "off", std::to_string(kSchemes),
+           fmt(*std::max_element(loads.begin(), loads.end()), 0),
+           fmt(percentile(loads, 99), 0), fmt(gini(loads), 3),
+           std::to_string(overlap)});
+      return out;
+    });
   }
+  sweep.run_into(table);
   table.print();
   std::printf(
       "\nexpected: rotation cuts the combined max node load and the hot-set "

@@ -8,7 +8,7 @@
 // subqueries need to take different ways"). Uniform entries + wide
 // regions make the effect visible; the paper notes the naive approach
 // "will cause high overhead especially when the query selectivity is
-// large".
+// large". Each routing mode is one sweep cell over the shared topology.
 #include <memory>
 #include <optional>
 
@@ -35,63 +35,70 @@ int main() {
   // Query selectivity: fraction of each dimension's extent covered.
   const double extents[] = {0.10, 0.25, 0.50, 0.80};
 
+  DelaySpaceModel::Options topo_opts;
+  topo_opts.hosts = scale.nodes;
+  topo_opts.seed = scale.seed;
+  const DelaySpaceModel topo(topo_opts);
+
   TablePrinter table({"mode", "extent", "recall_ok", "qry_msgs", "hops",
                       "resp_ms", "maxlat_ms", "nodes", "qry_B"});
+  SweepDriver sweep;
   for (const Mode& m : modes) {
-    Simulator sim;
-    DelaySpaceModel::Options topo_opts;
-    topo_opts.hosts = scale.nodes;
-    topo_opts.seed = scale.seed;
-    DelaySpaceModel topo(topo_opts);
-    Network net(sim, topo);
-    Ring::Options ropts;
-    ropts.seed = scale.seed;
-    Ring ring(net, ropts);
-    for (HostId h = 0; h < scale.nodes; ++h) ring.create_node(h);
-    ring.bootstrap();
-    IndexPlatform::Options popts;
-    popts.routing = m.routing;
-    popts.naive_split_depth = m.depth;
-    IndexPlatform platform(ring, popts);
-    std::uint32_t scheme = platform.register_scheme(
-        "uniform3d", uniform_boundary(3, 0, 1), false);
-    Rng rng(scale.seed + 3);
-    for (std::size_t i = 0; i < scale.objects; ++i) {
-      platform.insert(scheme, i,
-                      IndexPoint{rng.uniform(), rng.uniform(),
-                                 rng.uniform()});
-    }
-    auto nodes = ring.alive_nodes();
-    for (double extent : extents) {
-      QueryStats stats;
-      Rng qrng(scale.seed + 4);
-      std::size_t expected_total = 0;
-      std::size_t got_total = 0;
-      for (int qn = 0; qn < 30; ++qn) {
-        Region r;
-        for (int d = 0; d < 3; ++d) {
-          double lo = qrng.uniform(0, 1 - extent);
-          r.ranges.push_back(Interval{lo, lo + extent});
-        }
-        std::optional<IndexPlatform::QueryOutcome> outcome;
-        platform.region_query(*nodes[qrng.below(nodes.size())], scheme, r,
-                              IndexPoint(3, 0.5), ReplyMode::kAllMatches,
-                              [&](const auto& o) { outcome = o; });
-        sim.run();
-        stats.add(*outcome, 1.0);
-        got_total += outcome->results.size();
-        expected_total += 1;  // placeholder: exactness checked in tests
+    sweep.add_cell([&scale, &topo, &extents, m]() {
+      Simulator sim;
+      Network net(sim, topo);
+      Ring::Options ropts;
+      ropts.seed = scale.seed;
+      Ring ring(net, ropts);
+      for (HostId h = 0; h < scale.nodes; ++h) ring.create_node(h);
+      ring.bootstrap();
+      IndexPlatform::Options popts;
+      popts.routing = m.routing;
+      popts.naive_split_depth = m.depth;
+      IndexPlatform platform(ring, popts);
+      std::uint32_t scheme = platform.register_scheme(
+          "uniform3d", uniform_boundary(3, 0, 1), false);
+      Rng rng(scale.seed + 3);
+      for (std::size_t i = 0; i < scale.objects; ++i) {
+        platform.insert(scheme, i,
+                        IndexPoint{rng.uniform(), rng.uniform(),
+                                   rng.uniform()});
       }
-      table.add_row({m.name, fmt(extent * 100, 0) + "%",
-                     got_total > 0 ? "yes" : "n/a",
-                     fmt(stats.query_messages.mean(), 1),
-                     fmt(stats.hops.mean(), 1),
-                     fmt(stats.response_ms.mean(), 1),
-                     fmt(stats.max_latency_ms.mean(), 1),
-                     fmt(stats.index_nodes.mean(), 1),
-                     fmt(stats.query_bytes.mean(), 0)});
-    }
+      auto nodes = ring.alive_nodes();
+      CellOutput out;
+      for (double extent : extents) {
+        QueryStats stats;
+        Rng qrng(scale.seed + 4);
+        std::size_t expected_total = 0;
+        std::size_t got_total = 0;
+        for (int qn = 0; qn < 30; ++qn) {
+          Region r;
+          for (int d = 0; d < 3; ++d) {
+            double lo = qrng.uniform(0, 1 - extent);
+            r.ranges.push_back(Interval{lo, lo + extent});
+          }
+          std::optional<IndexPlatform::QueryOutcome> outcome;
+          platform.region_query(*nodes[qrng.below(nodes.size())], scheme, r,
+                                IndexPoint(3, 0.5), ReplyMode::kAllMatches,
+                                [&](const auto& o) { outcome = o; });
+          sim.run();
+          stats.add(*outcome, 1.0);
+          got_total += outcome->results.size();
+          expected_total += 1;  // placeholder: exactness checked in tests
+        }
+        out.rows.push_back({m.name, fmt(extent * 100, 0) + "%",
+                            got_total > 0 ? "yes" : "n/a",
+                            fmt(stats.query_messages.mean(), 1),
+                            fmt(stats.hops.mean(), 1),
+                            fmt(stats.response_ms.mean(), 1),
+                            fmt(stats.max_latency_ms.mean(), 1),
+                            fmt(stats.index_nodes.mean(), 1),
+                            fmt(stats.query_bytes.mean(), 0)});
+      }
+      return out;
+    });
   }
+  sweep.run_into(table);
   table.print();
   std::printf(
       "\nexpected: at matching coverage, the tree router uses fewer query "

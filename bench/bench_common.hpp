@@ -13,10 +13,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <span>
 #include <string>
 
 #include "eval/experiment.hpp"
+#include "eval/sweep.hpp"
 #include "landmark/selection.hpp"
 #include "workload/corpus.hpp"
 #include "workload/synthetic.hpp"
@@ -27,6 +29,23 @@ inline std::size_t env_size(const char* name, std::size_t fallback) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;
   return static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+}
+
+/// Wrap a vector in the shared-immutable handle the sweep cells hold:
+/// one corpus / query set / truth table for N concurrent cells.
+template <typename T>
+[[nodiscard]] std::shared_ptr<const std::vector<T>> share(
+    std::vector<T> v) {
+  return std::make_shared<const std::vector<T>>(std::move(v));
+}
+
+/// Non-owning handle to a vector some longer-lived owner holds (e.g.
+/// the corpus documents inside a workload on the bench's stack, which
+/// outlives the sweep). Avoids copying the corpus per cell.
+template <typename T>
+[[nodiscard]] std::shared_ptr<const std::vector<T>> share_ref(
+    const std::vector<T>& v) {
+  return std::shared_ptr<const std::vector<T>>(std::shared_ptr<void>(), &v);
 }
 
 inline bool full_scale() { return env_size("LMK_FULL", 0) != 0; }

@@ -6,7 +6,8 @@
 //
 // The bench prints the load curve (rank deciles) for each landmark
 // selection scheme, before and after balancing, plus the max-load and
-// Gini summaries.
+// Gini summaries. Each (scheme, balanced) pair is one sweep cell over
+// the shared dataset and topology.
 #include "bench_common.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -17,6 +18,7 @@ int main() {
   Scale scale = Scale::resolve();
   scale.print("Figure 4: load distribution on nodes (synthetic dataset)");
   SyntheticWorkload w(scale);
+  auto dataset = share(w.data.points);
 
   struct SchemeAxis {
     Selection sel;
@@ -31,33 +33,44 @@ int main() {
                      static_cast<double>(scale.nodes);
   std::printf("mean load: %.1f entries/node\n\n", mean_load);
 
+  ExperimentConfig proto;
+  proto.nodes = scale.nodes;
+  proto.seed = scale.seed;
+  proto.delta = 0.0;
+  proto.probe_level = 4;
+  auto topology = SimilarityExperiment<L2Space>::make_topology(proto);
+
   TablePrinter table({"scheme", "balanced", "max", "p99", "p90", "p50",
                       "gini", "migrations"});
+  SweepDriver sweep;
   for (const SchemeAxis& ax : axes) {
-    std::string name = std::string(selection_name(ax.sel)) + "-" +
-                       std::to_string(ax.k);
     for (bool balanced : {false, true}) {
-      ExperimentConfig ecfg;
-      ecfg.nodes = scale.nodes;
-      ecfg.seed = scale.seed;
-      ecfg.load_balance = balanced;
-      ecfg.delta = 0.0;
-      ecfg.probe_level = 4;
-      SimilarityExperiment<L2Space> exp(
-          ecfg, w.space, w.data.points,
-          w.make_mapper(ax.sel, ax.k, scale.sample,
-                        scale.seed + ax.k +
-                            (ax.sel == Selection::kKMeans ? 1000 : 0)),
-          name);
-      auto curve = exp.load_curve();
-      std::vector<double> loads(curve.begin(), curve.end());
-      table.add_row({name, balanced ? "yes" : "no", fmt(loads.front(), 0),
-                     fmt(percentile(loads, 99), 0),
-                     fmt(percentile(loads, 90), 0),
-                     fmt(percentile(loads, 50), 0), fmt(gini(loads), 3),
-                     std::to_string(exp.migrations())});
+      sweep.add_cell([&w, &scale, dataset, topology, proto, ax, balanced]() {
+        std::string name = std::string(selection_name(ax.sel)) + "-" +
+                           std::to_string(ax.k);
+        ExperimentConfig ecfg = proto;
+        ecfg.load_balance = balanced;
+        SimilarityExperiment<L2Space> exp(
+            ecfg, w.space, dataset,
+            w.make_mapper(ax.sel, ax.k, scale.sample,
+                          scale.seed + ax.k +
+                              (ax.sel == Selection::kKMeans ? 1000 : 0)),
+            name, topology);
+        auto curve = exp.load_curve();
+        std::vector<double> loads(curve.begin(), curve.end());
+        CellOutput out;
+        out.rows.push_back({name, balanced ? "yes" : "no",
+                            fmt(loads.front(), 0),
+                            fmt(percentile(loads, 99), 0),
+                            fmt(percentile(loads, 90), 0),
+                            fmt(percentile(loads, 50), 0),
+                            fmt(gini(loads), 3),
+                            std::to_string(exp.migrations())});
+        return out;
+      });
     }
   }
+  sweep.run_into(table);
   table.print();
   std::printf(
       "\npaper shape: with balancing the curve flattens; max load stays "

@@ -7,7 +7,8 @@
 // saturates at the π/2 boundary, shrinking the effective region); from
 // ~1% upward k-means wins on both recall and cost, because greedy's
 // sparse landmark documents map most of the corpus to the same boundary
-// point and cannot filter.
+// point and cannot filter. The two schemes run as concurrent sweep
+// cells over the shared corpus / queries / truth / topology.
 #include "bench_common.hpp"
 #include "common/table.hpp"
 
@@ -22,33 +23,45 @@ int main() {
   // Maximum pairwise angular distance for non-negative TF/IDF vectors.
   const double max_dist = pi / 2;
 
-  auto truth = SimilarityExperiment<AngularSpace>::compute_truth(
-      w.space, w.corpus->documents(), w.queries, 10);
+  auto docs = share_ref(w.corpus->documents());
+  auto queries = share_ref(w.queries);
+  auto truth = share(SimilarityExperiment<AngularSpace>::compute_truth(
+      w.space, *docs, *queries, 10));
+
+  ExperimentConfig proto;
+  proto.nodes = scale.nodes;
+  proto.seed = scale.seed;
+  proto.load_balance = true;
+  proto.delta = 0.0;
+  proto.probe_level = 4;
+  auto topology = SimilarityExperiment<AngularSpace>::make_topology(proto);
 
   TablePrinter table(QueryStats::header());
+  SweepDriver sweep;
   for (Selection sel : {Selection::kGreedy, Selection::kKMeans}) {
-    ExperimentConfig ecfg;
-    ecfg.nodes = scale.nodes;
-    ecfg.seed = scale.seed;
-    ecfg.load_balance = true;
-    ecfg.delta = 0.0;
-    ecfg.probe_level = 4;
-    std::string name = std::string(selection_name(sel)) + "-10";
-    std::size_t sample =
-        full_scale() ? 3000 : std::min<std::size_t>(1000, scale.docs / 4);
-    SimilarityExperiment<AngularSpace> exp(
-        ecfg, w.space, w.corpus->documents(),
-        w.make_mapper(sel, 10, sample,
-                      scale.seed + (sel == Selection::kKMeans ? 7 : 3)),
-        name);
-    std::printf("## %s: %d migrations during balancing\n", name.c_str(),
-                exp.migrations());
-    exp.set_queries(w.queries, truth);
-    for (double f : kRangeFactors) {
-      QueryStats stats = exp.run_batch(f * max_dist);
-      table.add_row(stats.row(name + " @" + fmt(f * 100, 1) + "%"));
-    }
+    sweep.add_cell([&w, &scale, docs, queries, truth, topology, proto,
+                    max_dist, sel]() {
+      std::string name = std::string(selection_name(sel)) + "-10";
+      std::size_t sample =
+          full_scale() ? 3000 : std::min<std::size_t>(1000, scale.docs / 4);
+      SimilarityExperiment<AngularSpace> exp(
+          proto, w.space, docs,
+          w.make_mapper(sel, 10, sample,
+                        scale.seed + (sel == Selection::kKMeans ? 7 : 3)),
+          name, topology);
+      CellOutput out;
+      out.lines.push_back("## " + name + ": " +
+                          std::to_string(exp.migrations()) +
+                          " migrations during balancing");
+      exp.set_queries(queries, truth);
+      for (double f : kRangeFactors) {
+        QueryStats stats = exp.run_batch(f * max_dist);
+        out.rows.push_back(stats.row(name + " @" + fmt(f * 100, 1) + "%"));
+      }
+      return out;
+    });
   }
+  sweep.run_into(table);
   table.print();
   return 0;
 }

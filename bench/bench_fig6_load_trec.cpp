@@ -5,7 +5,8 @@
 // documents to one boundary point — a single key the balancer cannot
 // divide — so the load stays concentrated on few nodes even after
 // balancing; k-means landmarks spread the index so balancing flattens
-// the curve.
+// the curve. Each (scheme, balanced) pair is one sweep cell over the
+// shared corpus and topology.
 #include "bench_common.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -16,38 +17,50 @@ int main() {
   Scale scale = Scale::resolve();
   scale.print("Figure 6: load distribution on nodes (TREC-like corpus)");
   CorpusWorkload w(scale);
+  auto docs = share_ref(w.corpus->documents());
+
+  ExperimentConfig proto;
+  proto.nodes = scale.nodes;
+  proto.seed = scale.seed;
+  proto.delta = 0.0;
+  proto.probe_level = 4;
+  auto topology = SimilarityExperiment<AngularSpace>::make_topology(proto);
 
   TablePrinter table({"scheme", "balanced", "max", "p99", "p90", "p50",
                       "nonzero_nodes", "gini", "migrations"});
+  SweepDriver sweep;
   for (Selection sel : {Selection::kGreedy, Selection::kKMeans}) {
-    std::string name = std::string(selection_name(sel)) + "-10";
     for (bool balanced : {false, true}) {
-      ExperimentConfig ecfg;
-      ecfg.nodes = scale.nodes;
-      ecfg.seed = scale.seed;
-      ecfg.load_balance = balanced;
-      ecfg.delta = 0.0;
-      ecfg.probe_level = 4;
-      std::size_t sample =
-          full_scale() ? 3000 : std::min<std::size_t>(1000, scale.docs / 4);
-      SimilarityExperiment<AngularSpace> exp(
-          ecfg, w.space, w.corpus->documents(),
-          w.make_mapper(sel, 10, sample,
-                        scale.seed + (sel == Selection::kKMeans ? 7 : 3)),
-          name);
-      auto curve = exp.load_curve();
-      std::vector<double> loads(curve.begin(), curve.end());
-      std::size_t nonzero = 0;
-      for (double l : loads) {
-        if (l > 0) ++nonzero;
-      }
-      table.add_row({name, balanced ? "yes" : "no", fmt(loads.front(), 0),
-                     fmt(percentile(loads, 99), 0),
-                     fmt(percentile(loads, 90), 0),
-                     fmt(percentile(loads, 50), 0), std::to_string(nonzero),
-                     fmt(gini(loads), 3), std::to_string(exp.migrations())});
+      sweep.add_cell([&w, &scale, docs, topology, proto, sel, balanced]() {
+        std::string name = std::string(selection_name(sel)) + "-10";
+        ExperimentConfig ecfg = proto;
+        ecfg.load_balance = balanced;
+        std::size_t sample =
+            full_scale() ? 3000 : std::min<std::size_t>(1000, scale.docs / 4);
+        SimilarityExperiment<AngularSpace> exp(
+            ecfg, w.space, docs,
+            w.make_mapper(sel, 10, sample,
+                          scale.seed + (sel == Selection::kKMeans ? 7 : 3)),
+            name, topology);
+        auto curve = exp.load_curve();
+        std::vector<double> loads(curve.begin(), curve.end());
+        std::size_t nonzero = 0;
+        for (double l : loads) {
+          if (l > 0) ++nonzero;
+        }
+        CellOutput out;
+        out.rows.push_back({name, balanced ? "yes" : "no",
+                            fmt(loads.front(), 0),
+                            fmt(percentile(loads, 99), 0),
+                            fmt(percentile(loads, 90), 0),
+                            fmt(percentile(loads, 50), 0),
+                            std::to_string(nonzero), fmt(gini(loads), 3),
+                            std::to_string(exp.migrations())});
+        return out;
+      });
     }
   }
+  sweep.run_into(table);
   table.print();
   std::printf(
       "\npaper shape: greedy stays skewed (single-key piles cannot be "

@@ -13,6 +13,10 @@
 //     chains, LMK_ONLINE_EVENTS events) isolating the event queue;
 //   - sim_events_per_sec / queries_per_sec: the simulated query batch;
 //   - candidates/scanned per subquery: per-node local-solve cost.
+// A fourth phase times the parallel sweep engine (src/eval/sweep.hpp):
+// identical experiment cells over shared immutable inputs, run strictly
+// serial and at the pool width, reporting cells/sec and the speedup
+// (results are checked bit-identical between the two runs).
 // When LMK_PERF_BASELINE names an earlier BENCH_perf.json (the
 // committed bench/BENCH_perf.baseline.json), its "online" section is
 // embedded verbatim as "online_baseline" so one file carries both
@@ -21,6 +25,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 
 #include "bench_common.hpp"
 #include "common/parallel.hpp"
@@ -70,6 +75,22 @@ struct OnlineNumbers {
   [[nodiscard]] double scan_per_subquery() const {
     return subqueries > 0 ? scanned / subqueries : 0;
   }
+};
+
+struct SweepNumbers {
+  std::size_t cells = 0;
+  double t1 = 0;                ///< wall time, strictly serial (1 thread)
+  double tN = 0;                ///< wall time at the pool width
+  std::size_t peak_resident = 0;
+  std::size_t resident_cap = 0;
+
+  [[nodiscard]] double cps1() const {
+    return t1 > 0 ? static_cast<double>(cells) / t1 : 0;
+  }
+  [[nodiscard]] double cpsN() const {
+    return tN > 0 ? static_cast<double>(cells) / tN : 0;
+  }
+  [[nodiscard]] double speedup() const { return tN > 0 ? t1 / tN : 0; }
 };
 
 /// Pure event-engine throughput: `chains` self-rescheduling events
@@ -245,6 +266,81 @@ int run() {
   set_threads(0);
   double query_s = online.query_s;
 
+  // Sweep phase: the parallel sweep engine (src/eval/sweep.hpp) running
+  // the shape every figure bench now has — independent experiment cells
+  // over shared immutable inputs — timed strictly serial (1 thread) and
+  // at the pool width. The cells share one config, so they also share
+  // one topology instance; outputs must match bit-for-bit between the
+  // two runs (enforced below).
+  SweepNumbers sweep;
+  sweep.cells = 8;
+  {
+    std::size_t cell_nodes = std::max<std::size_t>(32, s.nodes / 4);
+    std::size_t cell_objects =
+        std::min(w.data.points.size(), std::max<std::size_t>(500,
+                                                             s.objects / 4));
+    std::size_t cell_queries = std::min<std::size_t>(20, w.queries.size());
+    auto cell_dataset = share(std::vector<DenseVector>(
+        w.data.points.begin(),
+        w.data.points.begin() + static_cast<std::ptrdiff_t>(cell_objects)));
+    auto cell_queryset = share(std::vector<DenseVector>(
+        w.queries.begin(),
+        w.queries.begin() + static_cast<std::ptrdiff_t>(cell_queries)));
+    auto cell_truth = share(SimilarityExperiment<L2Space>::compute_truth(
+        w.space, *cell_dataset, *cell_queryset, 10));
+    ExperimentConfig proto;
+    proto.nodes = cell_nodes;
+    proto.seed = s.seed;
+    auto topology = SimilarityExperiment<L2Space>::make_topology(proto);
+
+    auto run_cells = [&](std::size_t threads, double* wall,
+                         std::size_t* peak, std::size_t* cap) {
+      set_threads(threads);
+      SweepDriver driver;
+      for (std::size_t i = 0; i < sweep.cells; ++i) {
+        Selection sel = (i % 2 == 0) ? Selection::kGreedy
+                                     : Selection::kKMeans;
+        driver.add_cell([&, sel, i]() {
+          std::string name = std::string(selection_name(sel)) + "-cell" +
+                             std::to_string(i);
+          SimilarityExperiment<L2Space> exp(
+              proto, w.space, cell_dataset,
+              w.make_mapper(sel, /*k=*/5, std::min<std::size_t>(200,
+                                                                s.sample),
+                            s.seed + 11 + i),
+              name, topology);
+          exp.set_queries(cell_queryset, cell_truth);
+          QueryStats stats = exp.run_batch(0.05 * w.max_dist);
+          CellOutput out;
+          out.rows.push_back({name, fmt(stats.recall.mean(), 3),
+                              fmt(stats.hops.mean(), 2),
+                              fmt(stats.query_messages.mean(), 1)});
+          return out;
+        });
+      }
+      std::vector<CellOutput> outs;
+      *wall = time_s([&] { outs = driver.run(); });
+      *peak = driver.peak_resident();
+      *cap = driver.resident_cap();
+      return outs;
+    };
+
+    std::size_t peak1 = 0, cap1 = 0;
+    double wall1 = 0;
+    auto outs1 = run_cells(1, &wall1, &peak1, &cap1);
+    auto outsN = run_cells(pool_threads, &sweep.tN, &sweep.peak_resident,
+                           &sweep.resident_cap);
+    sweep.t1 = wall1;
+    set_threads(0);
+    LMK_CHECK(outs1.size() == outsN.size());
+    for (std::size_t i = 0; i < outs1.size(); ++i) {
+      // Determinism contract, enforced: identical cell results at any
+      // thread count.
+      LMK_CHECK(outs1[i].rows == outsN[i].rows);
+      LMK_CHECK(outs1[i].lines == outsN[i].lines);
+    }
+  }
+
   double off1 = t1.oracle + t1.kmeans + t1.greedy + t1.build;
   double offN = tN.oracle + tN.kmeans + tN.greedy + tN.build;
   std::printf("phase           1 thread      %zu threads\n", pool_threads);
@@ -266,6 +362,12 @@ int run() {
               "(%.0f subqueries)\n",
               online.cand_per_subquery(), online.scan_per_subquery(),
               online.subqueries);
+  std::printf("sweep: %zu cells  1 thread %.3fs (%.2f cells/s)  "
+              "%zu threads %.3fs (%.2f cells/s)  speedup %.2fx  "
+              "peak resident %zu (cap %zu)\n",
+              sweep.cells, sweep.t1, sweep.cps1(), pool_threads, sweep.tN,
+              sweep.cpsN(), sweep.speedup(), sweep.peak_resident,
+              sweep.resident_cap);
 
   // Pre-PR baseline (committed): embedded into the output JSON so the
   // file carries both sides of the events/sec regression check.
@@ -338,6 +440,17 @@ int run() {
                "    \"subqueries\": %.0f,\n"
                "    \"candidates_per_subquery\": %.3f,\n"
                "    \"scanned_per_subquery\": %.3f\n"
+               "  },\n"
+               "  \"sweep\": {\n"
+               "    \"cells\": %zu,\n"
+               "    \"t1_seconds\": %.6f,\n"
+               "    \"tN_seconds\": %.6f,\n"
+               "    \"cells_per_sec_1_thread\": %.4f,\n"
+               "    \"cells_per_sec_n_threads\": %.4f,\n"
+               "    \"speedup\": %.4f,\n"
+               "    \"peak_resident\": %zu,\n"
+               "    \"resident_cap\": %zu,\n"
+               "    \"hardware_threads\": %u\n"
                "  }",
                pool_threads, s.nodes, s.objects, s.queries, sample_size,
                static_cast<unsigned long long>(s.seed), t1.oracle, tN.oracle,
@@ -350,7 +463,10 @@ int run() {
                online.query_s, online.sim_eps(),
                static_cast<unsigned long long>(online.queries), online.qps(),
                online.subqueries, online.cand_per_subquery(),
-               online.scan_per_subquery());
+               online.scan_per_subquery(), sweep.cells, sweep.t1, sweep.tN,
+               sweep.cps1(), sweep.cpsN(), sweep.speedup(),
+               sweep.peak_resident, sweep.resident_cap,
+               std::thread::hardware_concurrency());
   if (!baseline_online.empty()) {
     std::fprintf(f, ",\n  \"online_baseline\": %s",
                  baseline_online.c_str());

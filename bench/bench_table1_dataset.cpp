@@ -2,6 +2,8 @@
 // configured parameters and verifies the generated dataset's moments
 // actually match them (clamping at the range boundary shrinks the
 // per-dimension deviation slightly; both raw and clamped are shown).
+// The verification scan runs as a sweep cell; its lines are emitted
+// after the parameter table, as in the serial layout.
 #include <cmath>
 
 #include "bench_common.hpp"
@@ -28,25 +30,44 @@ int main() {
 
   // Verification: measured per-dimension deviation around the assigned
   // cluster centre, and cluster occupancy balance.
-  Accumulator dev;
-  std::vector<std::size_t> occupancy(w.cfg.clusters, 0);
-  for (std::size_t i = 0; i < w.data.points.size(); ++i) {
-    std::uint32_t c = w.data.assignments[i];
-    ++occupancy[c];
-    for (std::size_t d = 0; d < w.cfg.dims; ++d) {
-      dev.add(w.data.points[i][d] - w.data.centers[c][d]);
+  SweepDriver sweep;
+  sweep.add_cell([&w]() {
+    Accumulator dev;
+    std::vector<std::size_t> occupancy(w.cfg.clusters, 0);
+    for (std::size_t i = 0; i < w.data.points.size(); ++i) {
+      std::uint32_t c = w.data.assignments[i];
+      ++occupancy[c];
+      for (std::size_t d = 0; d < w.cfg.dims; ++d) {
+        dev.add(w.data.points[i][d] - w.data.centers[c][d]);
+      }
+    }
+    std::size_t min_occ = occupancy[0], max_occ = occupancy[0];
+    for (std::size_t o : occupancy) {
+      min_occ = std::min(min_occ, o);
+      max_occ = std::max(max_occ, o);
+    }
+    CellOutput out;
+    char buf[160];
+    out.lines.emplace_back("");
+    out.lines.emplace_back("verification:");
+    std::snprintf(buf, sizeof buf,
+                  "  measured per-dim deviation (after range clamping): %.2f",
+                  dev.stddev());
+    out.lines.emplace_back(buf);
+    std::snprintf(buf, sizeof buf,
+                  "  cluster occupancy: min %zu, max %zu (expected ~%zu each)",
+                  min_occ, max_occ, w.cfg.objects / w.cfg.clusters);
+    out.lines.emplace_back(buf);
+    std::snprintf(buf, sizeof buf,
+                  "  max theoretical distance: %.1f (paper: 1000)",
+                  w.max_dist);
+    out.lines.emplace_back(buf);
+    return out;
+  });
+  for (const CellOutput& out : sweep.run()) {
+    for (const std::string& line : out.lines) {
+      std::printf("%s\n", line.c_str());
     }
   }
-  std::size_t min_occ = occupancy[0], max_occ = occupancy[0];
-  for (std::size_t o : occupancy) {
-    min_occ = std::min(min_occ, o);
-    max_occ = std::max(max_occ, o);
-  }
-  std::printf("\nverification:\n");
-  std::printf("  measured per-dim deviation (after range clamping): %.2f\n",
-              dev.stddev());
-  std::printf("  cluster occupancy: min %zu, max %zu (expected ~%zu each)\n",
-              min_occ, max_occ, w.cfg.objects / w.cfg.clusters);
-  std::printf("  max theoretical distance: %.1f (paper: 1000)\n", w.max_dist);
   return 0;
 }

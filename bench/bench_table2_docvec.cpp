@@ -1,6 +1,8 @@
 // Table 2: the distribution of document vector sizes in the (TREC-like)
 // corpus — minimum, 5th/50th/95th percentile, maximum, mean — compared
-// against the paper's reported values for TREC-1,2-AP.
+// against the paper's reported values for TREC-1,2-AP. The percentile
+// scan runs as a sweep cell; its row and summary lines are emitted in
+// the serial layout (table first, then the document counts).
 #include "bench_common.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -12,26 +14,47 @@ int main() {
   scale.print("Table 2: distribution of document vector sizes");
   CorpusWorkload w(scale);
 
-  auto sizes = w.corpus->vector_sizes();
-  double mean = 0;
-  for (double s : sizes) mean += s;
-  mean /= static_cast<double>(sizes.size());
-
   TablePrinter table({"", "minimum", "5th", "50th", "95th", "maximum",
                       "mean"});
   table.add_row({"paper (TREC-1,2-AP)", "1", "50", "146", "293", "676",
                  "155.4"});
-  table.add_row({"this corpus", fmt(percentile(sizes, 0), 0),
-                 fmt(percentile(sizes, 5), 0), fmt(percentile(sizes, 50), 0),
-                 fmt(percentile(sizes, 95), 0),
-                 fmt(percentile(sizes, 100), 0), fmt(mean, 1)});
+  SweepDriver sweep;
+  sweep.add_cell([&w]() {
+    auto sizes = w.corpus->vector_sizes();
+    double mean = 0;
+    for (double s : sizes) mean += s;
+    mean /= static_cast<double>(sizes.size());
+    CellOutput out;
+    out.rows.push_back({"this corpus", fmt(percentile(sizes, 0), 0),
+                        fmt(percentile(sizes, 5), 0),
+                        fmt(percentile(sizes, 50), 0),
+                        fmt(percentile(sizes, 95), 0),
+                        fmt(percentile(sizes, 100), 0), fmt(mean, 1)});
+    char buf[160];
+    out.lines.emplace_back("");
+    std::snprintf(buf, sizeof buf, "documents: %zu (paper: 157,021)",
+                  w.corpus->documents().size());
+    out.lines.emplace_back(buf);
+    std::snprintf(buf, sizeof buf,
+                  "distinct terms used: %zu (paper vocabulary: 233,640)",
+                  w.corpus->distinct_terms());
+    out.lines.emplace_back(buf);
+    std::snprintf(buf, sizeof buf,
+                  "stop words removed: top %zu Zipf ranks (paper: SMART's "
+                  "571)",
+                  w.cfg.stop_words);
+    out.lines.emplace_back(buf);
+    return out;
+  });
+  auto outputs = sweep.run();
+  for (CellOutput& out : outputs) {
+    for (auto& row : out.rows) table.add_row(std::move(row));
+  }
   table.print();
-
-  std::printf("\ndocuments: %zu (paper: 157,021)\n",
-              w.corpus->documents().size());
-  std::printf("distinct terms used: %zu (paper vocabulary: 233,640)\n",
-              w.corpus->distinct_terms());
-  std::printf("stop words removed: top %zu Zipf ranks (paper: SMART's 571)\n",
-              w.cfg.stop_words);
+  for (const CellOutput& out : outputs) {
+    for (const std::string& line : out.lines) {
+      std::printf("%s\n", line.c_str());
+    }
+  }
   return 0;
 }

@@ -1,6 +1,9 @@
 // The Figure 2 / Figure 3 sweep: the four landmark selection schemes
 // {Greedy-5, Greedy-10, Kmean-5, Kmean-10} against the query-range
-// factor, with or without dynamic load migration.
+// factor, with or without dynamic load migration. Each scheme is one
+// sweep cell; the cells run concurrently over one shared dataset /
+// query set / truth table / topology and emit byte-identically to the
+// serial loop.
 #pragma once
 
 #include "bench_common.hpp"
@@ -13,9 +16,11 @@ inline void run_synthetic_sweep(const char* title, bool load_balance) {
   scale.print(title);
   SyntheticWorkload w(scale);
 
+  auto dataset = share(w.data.points);
+  auto queries = share(w.queries);
   // One brute-force truth pass shared by all four schemes.
-  auto truth = SimilarityExperiment<L2Space>::compute_truth(
-      w.space, w.data.points, w.queries, 10);
+  auto truth = share(SimilarityExperiment<L2Space>::compute_truth(
+      w.space, *dataset, *queries, 10));
 
   struct SchemeAxis {
     Selection sel;
@@ -26,33 +31,43 @@ inline void run_synthetic_sweep(const char* title, bool load_balance) {
                              {Selection::kKMeans, 5},
                              {Selection::kKMeans, 10}};
 
+  ExperimentConfig proto;
+  proto.nodes = scale.nodes;
+  proto.seed = scale.seed;
+  proto.load_balance = load_balance;
+  proto.delta = 0.0;     // §4.2: δ = 0 ...
+  proto.probe_level = 4;  // ... and P_l = 4 (maximum balancing effect)
+  auto topology = SimilarityExperiment<L2Space>::make_topology(proto);
+
   TablePrinter table(QueryStats::header());
+  SweepDriver sweep;
   for (const SchemeAxis& ax : axes) {
-    ExperimentConfig ecfg;
-    ecfg.nodes = scale.nodes;
-    ecfg.seed = scale.seed;
-    ecfg.load_balance = load_balance;
-    ecfg.delta = 0.0;     // §4.2: δ = 0 ...
-    ecfg.probe_level = 4;  // ... and P_l = 4 (maximum balancing effect)
-    std::string name = std::string(selection_name(ax.sel)) + "-" +
-                       std::to_string(ax.k);
-    SimilarityExperiment<L2Space> exp(
-        ecfg, w.space, w.data.points,
-        w.make_mapper(ax.sel, ax.k, scale.sample, scale.seed + ax.k +
-                                        (ax.sel == Selection::kKMeans
-                                             ? 1000
-                                             : 0)),
-        name);
-    exp.set_queries(w.queries, truth);
-    if (load_balance) {
-      std::printf("## %s: %d migrations during balancing\n", name.c_str(),
-                  exp.migrations());
-    }
-    for (double f : kRangeFactors) {
-      QueryStats stats = exp.run_batch(f * w.max_dist);
-      table.add_row(stats.row(name + " @" + fmt(f * 100, 1) + "%"));
-    }
+    sweep.add_cell([&w, &scale, dataset, queries, truth, topology, proto,
+                    load_balance, ax]() {
+      std::string name = std::string(selection_name(ax.sel)) + "-" +
+                         std::to_string(ax.k);
+      SimilarityExperiment<L2Space> exp(
+          proto, w.space, dataset,
+          w.make_mapper(ax.sel, ax.k, scale.sample, scale.seed + ax.k +
+                                          (ax.sel == Selection::kKMeans
+                                               ? 1000
+                                               : 0)),
+          name, topology);
+      exp.set_queries(queries, truth);
+      CellOutput out;
+      if (load_balance) {
+        out.lines.push_back("## " + name + ": " +
+                            std::to_string(exp.migrations()) +
+                            " migrations during balancing");
+      }
+      for (double f : kRangeFactors) {
+        QueryStats stats = exp.run_batch(f * w.max_dist);
+        out.rows.push_back(stats.row(name + " @" + fmt(f * 100, 1) + "%"));
+      }
+      return out;
+    });
   }
+  sweep.run_into(table);
   table.print();
 }
 

@@ -72,7 +72,8 @@ run_bench_smoke() {
   echo "== check.sh: bench smoke (toy-scale online bench_perf) =="
   cmake -B build-check -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DLMK_WERROR=ON >/dev/null
-  cmake --build build-check -j"$(nproc)" --target bench_perf >/dev/null
+  cmake --build build-check -j"$(nproc)" \
+    --target bench_perf bench_fig2_synthetic_nolb >/dev/null
   # Toy scale: the offline phases shrink with the workload, while the
   # engine storm (events/sec, the number bench_diff gates on) measures
   # per-event dispatch cost, which is scale-independent.
@@ -81,6 +82,17 @@ run_bench_smoke() {
     LMK_PERF_OUT=build-check/BENCH_perf.smoke.json \
     LMK_PERF_BASELINE=bench/BENCH_perf.baseline.json \
     ./build-check/bench/bench_perf
+  # Sweep-engine determinism: one figure sweep must emit byte-identical
+  # tables strictly serial (LMK_THREADS=1) and parallel (LMK_THREADS=8).
+  echo "== check.sh: bench smoke (fig2 sweep, 1 vs 8 threads) =="
+  LMK_NODES=64 LMK_OBJECTS=2000 LMK_QUERIES=30 LMK_SAMPLE=200 \
+    LMK_THREADS=1 ./build-check/bench/bench_fig2_synthetic_nolb \
+    > build-check/fig2_sweep.t1.out
+  LMK_NODES=64 LMK_OBJECTS=2000 LMK_QUERIES=30 LMK_SAMPLE=200 \
+    LMK_THREADS=8 ./build-check/bench/bench_fig2_synthetic_nolb \
+    > build-check/fig2_sweep.t8.out
+  cmp build-check/fig2_sweep.t1.out build-check/fig2_sweep.t8.out
+  echo "bench smoke: fig2 sweep byte-identical at 1 and 8 threads"
   scripts/bench_diff.py --current build-check/BENCH_perf.smoke.json "$@"
 }
 

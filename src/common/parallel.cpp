@@ -17,18 +17,26 @@ namespace {
 /// workers so a straggler waking after completion still reads valid
 /// state.
 struct Job {
+  static constexpr std::size_t kUnboundedSlots = ~std::size_t{0};
+
   std::size_t n = 0;
   std::size_t grain = 1;
   std::size_t chunks = 0;
   const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
   std::atomic<std::size_t> next{0};   ///< next chunk to claim
   std::atomic<std::size_t> done{0};   ///< chunks completed
+  /// Executor slots still free (bounded-concurrency jobs; see
+  /// parallel_tasks). A thread that finds no free slot simply does not
+  /// join the job — the slot holders drain the remaining chunks.
+  std::atomic<std::size_t> slots{kUnboundedSlots};
   std::mutex err_mu;
   std::exception_ptr error;
 };
 
 /// Set while a thread is executing chunks, so nested parallel_for calls
 /// degrade to inline execution instead of deadlocking on the pool.
+/// Never crosses threads and carries no cross-run state.
+// lmk-lint: allow(mutable-global) per-thread nesting flag
 thread_local bool g_in_job = false;
 
 class Pool {
@@ -84,6 +92,20 @@ class Pool {
   }
 
   void execute(Job& job) {
+    // Bounded-concurrency jobs: take an executor slot or leave the job
+    // to the current slot holders (they loop until every chunk is
+    // claimed, so progress never depends on this thread).
+    bool bounded = false;
+    std::size_t s = job.slots.load(std::memory_order_relaxed);
+    while (s != Job::kUnboundedSlots) {
+      if (s == 0) return;
+      if (job.slots.compare_exchange_weak(s, s - 1,
+                                          std::memory_order_acquire,
+                                          std::memory_order_relaxed)) {
+        bounded = true;
+        break;
+      }
+    }
     g_in_job = true;
     for (;;) {
       std::size_t c = job.next.fetch_add(1, std::memory_order_relaxed);
@@ -103,6 +125,7 @@ class Pool {
       }
     }
     g_in_job = false;
+    if (bounded) job.slots.fetch_add(1, std::memory_order_release);
   }
 
   std::mutex mu_;
@@ -124,9 +147,17 @@ std::size_t env_threads() {
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }
 
+/// Protects the process-wide worker pool; holds no experiment state.
+// lmk-lint: allow(mutable-global) pool singleton guard
 std::mutex g_pool_mu;
-std::unique_ptr<Pool> g_pool;          // lazily sized
-std::size_t g_override = 0;            // set_threads override (0 = auto)
+/// The process-wide worker pool itself (lazily sized); work
+/// distribution is chunk-deterministic by contract.
+// lmk-lint: allow(mutable-global) pool singleton
+std::unique_ptr<Pool> g_pool;
+/// set_threads override (0 = auto); written only by test/bench
+/// harnesses between parallel regions.
+// lmk-lint: allow(mutable-global) thread-count override
+std::size_t g_override = 0;
 
 Pool& pool() {
   std::lock_guard<std::mutex> lk(g_pool_mu);
@@ -149,6 +180,18 @@ void set_threads(std::size_t n) {
   g_override = n;
 }
 
+void parallel_tasks(std::size_t n,
+                    const std::function<void(std::size_t)>& fn,
+                    std::size_t max_concurrent) {
+  if (n == 0) return;
+  std::function<void(std::size_t, std::size_t)> wrapper =
+      [&fn](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      };
+  detail::run_chunks(n, /*grain=*/1, wrapper,
+                     max_concurrent == 0 ? thread_count() : max_concurrent);
+}
+
 namespace detail {
 
 std::size_t default_grain(std::size_t n) {
@@ -161,13 +204,15 @@ std::size_t default_grain(std::size_t n) {
 }
 
 void run_chunks(std::size_t n, std::size_t grain,
-                const std::function<void(std::size_t, std::size_t)>& fn) {
+                const std::function<void(std::size_t, std::size_t)>& fn,
+                std::size_t max_active) {
   if (n == 0) return;
   if (grain == 0) grain = 1;
   std::size_t chunks = (n + grain - 1) / grain;
-  if (g_in_job || chunks <= 1 || thread_count() <= 1) {
-    // Inline: single chunk, single-threaded config, or nested call from
-    // inside a pool worker. Same chunk boundaries, same results.
+  if (g_in_job || chunks <= 1 || thread_count() <= 1 || max_active == 1) {
+    // Inline: single chunk, single-threaded config, a concurrency cap
+    // of one, or a nested call from inside a pool worker. Same chunk
+    // boundaries, same results.
     for (std::size_t c = 0; c < chunks; ++c) {
       std::size_t begin = c * grain;
       fn(begin, std::min(n, begin + grain));
@@ -179,6 +224,9 @@ void run_chunks(std::size_t n, std::size_t grain,
   job->grain = grain;
   job->chunks = chunks;
   job->fn = &fn;
+  if (max_active != 0) {
+    job->slots.store(max_active, std::memory_order_relaxed);
+  }
   pool().run(job);
   if (job->error) std::rethrow_exception(job->error);
 }

@@ -36,19 +36,59 @@ struct ExperimentConfig {
   int naive_split_depth = 10;        ///< client decomposition (naive mode)
 };
 
+/// A delay-space topology built once and shared read-only across
+/// concurrently running experiment cells (DelaySpaceModel is immutable
+/// after construction). The build options ride along so an experiment
+/// can verify the handle matches what it would have built itself.
+struct SharedTopology {
+  DelaySpaceModel::Options opts;
+  DelaySpaceModel model;
+
+  explicit SharedTopology(const DelaySpaceModel::Options& o)
+      : opts(o), model(o) {}
+};
+
 /// End-to-end experiment over one metric space / one index scheme.
+///
+/// Sweep-cell contract (src/eval/sweep.hpp): the heavyweight inputs —
+/// dataset, query set, precomputed ground truth, topology — are held
+/// behind shared_ptr-to-const handles, so N concurrent cells over the
+/// same corpus keep one copy, not N. All mutable state (simulator,
+/// ring, platform, index, RNG) is per-instance; two instances never
+/// share mutable state, which is what makes interleaved and concurrent
+/// cells produce stats identical to isolated runs.
 template <MetricSpace S>
 class SimilarityExperiment {
  public:
   using Point = typename S::Point;
+  using DatasetHandle = std::shared_ptr<const std::vector<Point>>;
+  using TruthHandle =
+      std::shared_ptr<const std::vector<std::vector<std::uint64_t>>>;
+
+  /// The topology this config would build: options identical to the
+  /// constructor's own derivation (seed from the first fork of the
+  /// config-seeded RNG), so cells with equal (nodes, rtt, seed) can
+  /// share one instance.
+  [[nodiscard]] static std::shared_ptr<const SharedTopology> make_topology(
+      const ExperimentConfig& cfg) {
+    DelaySpaceModel::Options topo;
+    topo.hosts = cfg.nodes;
+    topo.target_mean_rtt = cfg.target_mean_rtt;
+    topo.seed = Rng(cfg.seed).fork().next();
+    return std::make_shared<const SharedTopology>(topo);
+  }
 
   /// Builds the whole stack and bulk-loads `dataset`. The mapper (and
   /// thus the landmark selection) is provided by the caller so benches
   /// can sweep selection schemes. If cfg.load_balance is set, dynamic
-  /// migration runs to stability before any queries.
-  SimilarityExperiment(ExperimentConfig cfg, const S& space,
-                       std::vector<Point> dataset, LandmarkMapper<S> mapper,
-                       const std::string& scheme_name)
+  /// migration runs to stability before any queries. `topology` (from
+  /// make_topology) is used when its options match what this config
+  /// derives — the experiment's own random draws are identical either
+  /// way — and silently rebuilt per-instance when they do not.
+  SimilarityExperiment(
+      ExperimentConfig cfg, const S& space, DatasetHandle dataset,
+      LandmarkMapper<S> mapper, const std::string& scheme_name,
+      std::shared_ptr<const SharedTopology> topology = nullptr)
       : cfg_(cfg),
         space_(space),
         dataset_(std::move(dataset)),
@@ -56,8 +96,17 @@ class SimilarityExperiment {
     DelaySpaceModel::Options topo;
     topo.hosts = cfg.nodes;
     topo.target_mean_rtt = cfg.target_mean_rtt;
-    topo.seed = rng_.fork().next();
-    topology_ = std::make_unique<DelaySpaceModel>(topo);
+    topo.seed = rng_.fork().next();  // always drawn: draws stay identical
+    if (topology != nullptr && topology->opts.hosts == topo.hosts &&
+        topology->opts.target_mean_rtt == topo.target_mean_rtt &&
+        topology->opts.seed == topo.seed &&
+        topology->opts.access_delay_fraction ==
+            topo.access_delay_fraction) {
+      topology_ = std::shared_ptr<const DelaySpaceModel>(topology,
+                                                         &topology->model);
+    } else {
+      topology_ = std::make_shared<const DelaySpaceModel>(topo);
+    }
     net_ = std::make_unique<Network>(sim_, *topology_);
     Ring::Options ring_opts;
     ring_opts.pns = cfg.pns;
@@ -75,11 +124,11 @@ class SimilarityExperiment {
     index_ = std::make_unique<LandmarkIndex<S>>(
         *platform_, space_, std::move(mapper), scheme_name, cfg.rotate);
     index_->bind_objects([this](std::uint64_t id) -> const Point& {
-      return dataset_[static_cast<std::size_t>(id)];
+      return (*dataset_)[static_cast<std::size_t>(id)];
     });
     // Parallel offline build: landmark mapping + LPH hashing fan out
     // over the pool; placement is identical to a per-object insert loop.
-    index_->bulk_load(dataset_);
+    index_->bulk_load(*dataset_);
     if (cfg.load_balance) {
       LoadBalancer::Options bopts;
       bopts.delta = cfg.delta;
@@ -113,24 +162,46 @@ class SimilarityExperiment {
     }
   }
 
-  /// Install the query workload; ground-truth k-NN sets are computed
-  /// lazily per query and cached across batches (they do not depend on
-  /// the radius).
-  void set_queries(std::vector<Point> queries) {
+  /// Convenience overload: takes the dataset by value and wraps it in a
+  /// private handle (tests and single-cell callers that do not share).
+  SimilarityExperiment(ExperimentConfig cfg, const S& space,
+                       std::vector<Point> dataset, LandmarkMapper<S> mapper,
+                       const std::string& scheme_name)
+      : SimilarityExperiment(
+            cfg, space,
+            std::make_shared<const std::vector<Point>>(std::move(dataset)),
+            std::move(mapper), scheme_name) {}
+
+  /// Install a shared query workload; ground-truth k-NN sets are
+  /// computed lazily per query and cached across batches (they do not
+  /// depend on the radius).
+  void set_queries(std::shared_ptr<const std::vector<Point>> queries) {
     queries_ = std::move(queries);
-    truth_cache_.assign(queries_.size(), std::nullopt);
+    shared_truth_ = nullptr;
+    truth_cache_.assign(queries_->size(), std::nullopt);
   }
 
-  /// Variant with precomputed ground truth (benches share one
-  /// brute-force pass across several experiment instances over the same
-  /// dataset and query set).
+  /// Shared queries plus shared precomputed ground truth: N sweep cells
+  /// over the same corpus hold one truth table, not N copies.
+  void set_queries(std::shared_ptr<const std::vector<Point>> queries,
+                   TruthHandle truth) {
+    LMK_CHECK(truth != nullptr && truth->size() == queries->size());
+    queries_ = std::move(queries);
+    shared_truth_ = std::move(truth);
+    truth_cache_.clear();
+  }
+
+  /// By-value conveniences (wrap into private handles).
+  void set_queries(std::vector<Point> queries) {
+    set_queries(
+        std::make_shared<const std::vector<Point>>(std::move(queries)));
+  }
   void set_queries(std::vector<Point> queries,
                    std::vector<std::vector<std::uint64_t>> truth) {
-    LMK_CHECK(truth.size() == queries.size());
-    queries_ = std::move(queries);
-    truth_cache_.clear();
-    truth_cache_.reserve(truth.size());
-    for (auto& t : truth) truth_cache_.emplace_back(std::move(t));
+    set_queries(
+        std::make_shared<const std::vector<Point>>(std::move(queries)),
+        std::make_shared<const std::vector<std::vector<std::uint64_t>>>(
+            std::move(truth)));
   }
 
   /// Compute the brute-force k-NN truth for a query set over a dataset
@@ -151,19 +222,19 @@ class SimilarityExperiment {
     std::vector<ChordNode*> nodes = ring_->alive_nodes();
     Rng arrivals = rng_.fork();
     SimTime t = sim_.now();
-    for (std::size_t i = 0; i < queries_.size(); ++i) {
+    for (std::size_t i = 0; i < queries_->size(); ++i) {
       t += static_cast<SimTime>(
           arrivals.exponential(static_cast<double>(cfg_.mean_interarrival)));
       ChordNode* origin = nodes[arrivals.below(nodes.size())];
       sim_.schedule_at(t, [this, i, radius, origin, &stats]() {
         index_->range_query(
-            *origin, queries_[i], radius, ReplyMode::kTopK,
+            *origin, (*queries_)[i], radius, ReplyMode::kTopK,
             [this, i, &stats](const IndexPlatform::QueryOutcome& outcome) {
               auto object = [this](std::uint64_t id) -> const Point& {
-                return dataset_[static_cast<std::size_t>(id)];
+                return (*dataset_)[static_cast<std::size_t>(id)];
               };
               std::vector<std::uint64_t> retrieved = index_->refine_knn(
-                  queries_[i], outcome.results, object, cfg_.top_k);
+                  (*queries_)[i], outcome.results, object, cfg_.top_k);
               stats.add(outcome, recall(truth(i), retrieved));
             });
       });
@@ -186,8 +257,12 @@ class SimilarityExperiment {
     return loads;
   }
 
-  [[nodiscard]] const std::vector<Point>& dataset() const { return dataset_; }
-  [[nodiscard]] const std::vector<Point>& queries() const { return queries_; }
+  [[nodiscard]] const std::vector<Point>& dataset() const {
+    return *dataset_;
+  }
+  [[nodiscard]] const std::vector<Point>& queries() const {
+    return *queries_;
+  }
   IndexPlatform& platform() { return *platform_; }
   Ring& ring() { return *ring_; }
   Simulator& sim() { return sim_; }
@@ -198,12 +273,15 @@ class SimilarityExperiment {
 
  private:
   [[nodiscard]] const std::vector<std::uint64_t>& truth(std::size_t qi) {
+    if (shared_truth_ != nullptr) return (*shared_truth_)[qi];
     auto& slot = truth_cache_[qi];
     if (!slot.has_value()) {
-      const Point& q = queries_[qi];
+      const Point& q = (*queries_)[qi];
       slot = knn_bruteforce_with(
-          dataset_.size(),
-          [this, &q](std::size_t j) { return space_.distance(q, dataset_[j]); },
+          dataset_->size(),
+          [this, &q](std::size_t j) {
+            return space_.distance(q, (*dataset_)[j]);
+          },
           cfg_.top_k);
     }
     return *slot;
@@ -211,12 +289,14 @@ class SimilarityExperiment {
 
   ExperimentConfig cfg_;
   const S& space_;
-  std::vector<Point> dataset_;
-  std::vector<Point> queries_;
+  DatasetHandle dataset_;
+  std::shared_ptr<const std::vector<Point>> queries_ =
+      std::make_shared<const std::vector<Point>>();
+  TruthHandle shared_truth_;
   std::vector<std::optional<std::vector<std::uint64_t>>> truth_cache_;
   Rng rng_;
   Simulator sim_;
-  std::unique_ptr<DelaySpaceModel> topology_;
+  std::shared_ptr<const DelaySpaceModel> topology_;
   std::unique_ptr<Network> net_;
   std::unique_ptr<Ring> ring_;
   std::unique_ptr<IndexPlatform> platform_;

@@ -16,7 +16,11 @@ double directed(const PointSet& a, const PointSet& b) {
       double dx = p[0] - q[0];
       double dy = p[1] - q[1];
       best = std::min(best, dx * dx + dy * dy);
-      if (best == 0) break;
+      // Early break: once p's running min cannot exceed the running max
+      // over previous points, p cannot change the directed distance —
+      // its true min is <= best <= worst. Bit-identical to the full
+      // scan, since pruned points never contribute to `worst`.
+      if (best <= worst) break;
     }
     worst = std::max(worst, best);
   }

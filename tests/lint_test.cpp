@@ -311,6 +311,107 @@ TEST(PointerKeyUnordered, AllowCommentSuppresses) {
   EXPECT_TRUE(fs.empty());
 }
 
+// ----- mutable-global -----
+
+TEST(MutableGlobal, FlagsKeywordlessNamespaceScopeVariable) {
+  auto fs = lint_source("a.cpp",
+                        "namespace lmk {\n"
+                        "namespace {\n"
+                        "std::mutex g_mu;\n"
+                        "std::size_t g_counter = 0;\n"
+                        "}  // namespace\n"
+                        "}  // namespace lmk\n");
+  ASSERT_EQ(fs.size(), 2u);
+  EXPECT_EQ(fs[0].rule, "mutable-global");
+  EXPECT_EQ(fs[0].line, 3);
+  EXPECT_EQ(fs[1].line, 4);
+}
+
+TEST(MutableGlobal, FlagsStaticLocalAndThreadLocal) {
+  EXPECT_TRUE(has_rule(lint_source("a.cpp",
+                                   "int next_id() {\n"
+                                   "  static int counter = 0;\n"
+                                   "  return ++counter;\n"
+                                   "}\n"),
+                       "mutable-global"));
+  EXPECT_TRUE(has_rule(
+      lint_source("a.cpp", "thread_local bool g_in_job = false;\n"),
+      "mutable-global"));
+  // `static thread_local` is one declaration, not two findings.
+  auto fs = lint_source("a.cpp", "static thread_local int g_tls = 0;\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "mutable-global");
+}
+
+TEST(MutableGlobal, ConstFamilyIsFine) {
+  EXPECT_TRUE(lint_source("a.cpp",
+                          "namespace lmk {\n"
+                          "const std::size_t kNodes = 64;\n"
+                          "constexpr double kFactor = 1.5;\n"
+                          "constexpr double kTable[] = {1.0, 2.0};\n"
+                          "}  // namespace lmk\n")
+                  .empty());
+  EXPECT_TRUE(
+      lint_source("a.cpp",
+                  "double cached() {\n"
+                  "  static const double kOnce = expensive();\n"
+                  "  static constexpr int kBits = 12;\n"
+                  "  return kOnce + kBits;\n"
+                  "}\n")
+          .empty());
+}
+
+TEST(MutableGlobal, FunctionsMembersAndLocalsAreFine) {
+  // Function declarations/definitions, static member functions, class
+  // bodies and ordinary locals all carry no static storage.
+  EXPECT_TRUE(lint_source("a.cpp",
+                          "namespace lmk {\n"
+                          "static void helper(int x);\n"
+                          "std::vector<int> make_list(std::size_t n);\n"
+                          "class Pool {\n"
+                          " public:\n"
+                          "  static Pool& instance();\n"
+                          "  std::size_t threads_ = 0;\n"
+                          "};\n"
+                          "int run() {\n"
+                          "  std::size_t local = 0;\n"
+                          "  return static_cast<int>(local);\n"
+                          "}\n"
+                          "}  // namespace lmk\n")
+                  .empty());
+}
+
+TEST(MutableGlobal, UsingAliasesAndForwardDeclsAreFine) {
+  EXPECT_TRUE(lint_source("a.cpp",
+                          "namespace lmk {\n"
+                          "using Clock = VirtualClock;\n"
+                          "typedef std::uint64_t HostId;\n"
+                          "struct Simulator;\n"
+                          "class Network;\n"
+                          "static_assert(sizeof(int) == 4);\n"
+                          "}  // namespace lmk\n")
+                  .empty());
+}
+
+TEST(MutableGlobal, AllowCommentSuppresses) {
+  EXPECT_TRUE(lint_source("a.cpp",
+                          "namespace lmk {\n"
+                          "namespace {\n"
+                          "// lmk-lint: allow(mutable-global) pool guard\n"
+                          "std::mutex g_pool_mu;\n"
+                          "}  // namespace\n"
+                          "}  // namespace lmk\n")
+                  .empty());
+  EXPECT_TRUE(
+      lint_source("a.cpp",
+                  "int f() {\n"
+                  "  // lmk-lint: allow(mutable-global) call counter\n"
+                  "  static int calls = 0;\n"
+                  "  return ++calls;\n"
+                  "}\n")
+          .empty());
+}
+
 // ----- infrastructure -----
 
 TEST(Strip, PreservesLayoutAndNewlines) {

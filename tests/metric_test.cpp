@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <numbers>
 #include <string>
 
@@ -277,6 +278,61 @@ TEST(Hausdorff, TranslationDistance) {
   PointSet a{{0, 0}, {1, 0}};
   PointSet b{{0, 2}, {1, 2}};
   EXPECT_DOUBLE_EQ(hausdorff_distance(a, b), 2.0);
+}
+
+namespace {
+
+// Unpruned reference: the textbook max-min double loop, no early break.
+double hausdorff_reference(const PointSet& a, const PointSet& b) {
+  auto directed = [](const PointSet& x, const PointSet& y) {
+    double worst = 0;
+    for (const Point2D& p : x) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const Point2D& q : y) {
+        double dx = p[0] - q[0];
+        double dy = p[1] - q[1];
+        best = std::min(best, dx * dx + dy * dy);
+      }
+      worst = std::max(worst, best);
+    }
+    return std::sqrt(worst);
+  };
+  if (a.empty() && b.empty()) return 0.0;
+  if (a.empty() || b.empty()) return 1e18;
+  return std::max(directed(a, b), directed(b, a));
+}
+
+}  // namespace
+
+TEST(Hausdorff, PrunedMatchesUnprunedReference) {
+  // The production directed() breaks its inner loop once the running
+  // min drops to the running max (the pruned point cannot raise the
+  // directed distance). Random point sets across sizes and spreads must
+  // give bit-identical results to the unpruned scan.
+  Rng rng(20260806);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto make_set = [&](std::size_t n, double spread) {
+      PointSet s;
+      s.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        s.push_back({rng.uniform(-spread, spread),
+                     rng.uniform(-spread, spread)});
+      }
+      return s;
+    };
+    std::size_t na = 1 + rng.below(24);
+    std::size_t nb = 1 + rng.below(24);
+    // Mixed spreads produce both tight clusters (prunes constantly) and
+    // far-apart sets (prunes rarely).
+    PointSet a = make_set(na, trial % 3 == 0 ? 0.5 : 50.0);
+    PointSet b = make_set(nb, trial % 2 == 0 ? 0.5 : 50.0);
+    double expect = hausdorff_reference(a, b);
+    EXPECT_DOUBLE_EQ(hausdorff_distance(a, b), expect) << "trial " << trial;
+    // Duplicated points force exact zero minima mid-scan.
+    PointSet ab = a;
+    ab.insert(ab.end(), b.begin(), b.end());
+    EXPECT_DOUBLE_EQ(hausdorff_distance(ab, a), hausdorff_reference(ab, a));
+  }
 }
 
 // ----- Jaccard -----

@@ -122,6 +122,90 @@ TEST(ParallelFor, NestedCallsRunInline) {
 }
 
 // ---------------------------------------------------------------------
+// parallel_tasks: task-level submission with bounded concurrency (the
+// sweep engine's substrate).
+// ---------------------------------------------------------------------
+
+TEST(ParallelTasks, CoversEveryTaskExactlyOnce) {
+  ThreadGuard guard;
+  for (std::size_t t : {1u, 3u, 8u}) {
+    set_threads(t);
+    std::vector<std::atomic<int>> hits(100);
+    parallel_tasks(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "task " << i << " threads " << t;
+    }
+  }
+}
+
+TEST(ParallelTasks, ZeroTasksNeverInvokes) {
+  ThreadGuard guard;
+  set_threads(4);
+  std::atomic<int> calls{0};
+  parallel_tasks(0, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelTasks, BoundedConcurrencyIsHonored) {
+  ThreadGuard guard;
+  set_threads(8);
+  for (std::size_t cap : {1u, 2u}) {
+    std::atomic<std::size_t> active{0};
+    std::atomic<std::size_t> peak{0};
+    std::atomic<int> ran{0};
+    parallel_tasks(
+        16,
+        [&](std::size_t) {
+          std::size_t now = active.fetch_add(1) + 1;
+          std::size_t seen = peak.load();
+          while (now > seen && !peak.compare_exchange_weak(seen, now)) {
+          }
+          // Busy-wait briefly so overlapping tasks would be observed.
+          std::atomic<int> spin{0};
+          while (spin.fetch_add(1, std::memory_order_relaxed) < 2000) {
+          }
+          ran.fetch_add(1);
+          active.fetch_sub(1);
+        },
+        cap);
+    EXPECT_EQ(ran.load(), 16);
+    EXPECT_LE(peak.load(), cap);
+  }
+}
+
+TEST(ParallelTasks, NestedParallelForDoesNotDeadlock) {
+  ThreadGuard guard;
+  set_threads(4);
+  std::vector<std::atomic<int>> hits(4 * 32);
+  parallel_tasks(
+      4,
+      [&](std::size_t task) {
+        // Inside a worker, nested parallel_for runs inline with the same
+        // chunk boundaries.
+        parallel_for(32, [&](std::size_t i) {
+          hits[task * 32 + i].fetch_add(1);
+        });
+      },
+      /*max_concurrent=*/2);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelTasks, ExceptionsPropagateAndPoolSurvives) {
+  ThreadGuard guard;
+  set_threads(4);
+  EXPECT_THROW(parallel_tasks(20,
+                              [&](std::size_t i) {
+                                if (i == 13) {
+                                  throw std::runtime_error("cell boom");
+                                }
+                              }),
+               std::runtime_error);
+  std::atomic<int> calls{0};
+  parallel_tasks(10, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 10);
+}
+
+// ---------------------------------------------------------------------
 // Determinism of the parallelized offline phases: every result below
 // must be bit-identical between LMK_THREADS=1 and LMK_THREADS=8.
 // ---------------------------------------------------------------------

@@ -405,6 +405,180 @@ std::vector<Finding> lint_source(std::string_view path,
     }
   }
 
+  // --- mutable-global: hidden mutable state with static storage ---
+  // Sweep cells run concurrently on the thread pool; a mutable global
+  // (namespace-scope variable, static local, thread_local) is shared
+  // across cells, so an unsynchronized write races and even a guarded
+  // one can make a cell's output depend on which cells ran before it.
+  // Two scans: (1) `static` / `thread_local` declarations at any scope,
+  // (2) keywordless variable definitions at namespace scope (the common
+  // anonymous-namespace-global idiom carries no keyword at all).
+  // Known limits, same spirit as the container rules: constructor-call
+  // initializers (`Foo g(1);`) read as prototypes and are skipped, and
+  // `struct X { ... } g;` tail declarators are not traced.
+  {
+    std::vector<int> flagged_lines;  // dedup `static thread_local` etc.
+    auto report_mutable = [&](std::size_t pos, std::string_view what) {
+      int line = line_of(stripped, pos);
+      if (std::find(flagged_lines.begin(), flagged_lines.end(), line) !=
+          flagged_lines.end()) {
+        return;
+      }
+      flagged_lines.push_back(line);
+      report(pos, "mutable-global",
+             std::string(what) +
+                 ": mutable state with static storage duration is shared "
+                 "across concurrently running sweep cells; make it "
+                 "const/constexpr, move it into the cell's own stack, or "
+                 "justify with // lmk-lint: allow(mutable-global)");
+    };
+    // Scan a declaration starting just after `from` (keyword or start of
+    // statement). Returns true when it is a mutable variable: no
+    // const-family qualifier and no '(' (functions, prototypes and
+    // constructor-call initializers all stop at '(').
+    auto mutable_decl = [&](std::size_t from) {
+      bool has_const = false;
+      std::size_t idents = 0;
+      std::size_t i = from;
+      while (i < stripped.size()) {
+        i = skip_ws(stripped, i);
+        if (i >= stripped.size()) break;
+        char c = stripped[i];
+        if (c == ';' || c == '=' || c == '{') break;
+        if (c == '(') return false;
+        if (c == '<') {
+          std::size_t j = skip_angles(stripped, i);
+          if (j == std::string_view::npos) return false;
+          i = j;
+          continue;
+        }
+        if (is_ident_char(c)) {
+          std::size_t s = i;
+          while (i < stripped.size() && is_ident_char(stripped[i])) ++i;
+          std::string_view id = stripped.substr(s, i - s);
+          if (id == "const" || id == "constexpr" || id == "constinit" ||
+              id == "consteval") {
+            has_const = true;
+          } else if (id != "static" && id != "thread_local" &&
+                     id != "inline" && id != "std") {
+            ++idents;
+          }
+          continue;
+        }
+        ++i;  // :: & * [ ] , ...
+      }
+      // A variable needs at least a type and a name; `using X = ...;`
+      // style aliases were already skipped by the caller.
+      return !has_const && idents >= 2;
+    };
+
+    // (1) static / thread_local declarations, any scope.
+    for (std::string_view kw : {"static", "thread_local"}) {
+      std::size_t pos = 0;
+      while ((pos = find_token(stripped, kw, pos)) !=
+             std::string_view::npos) {
+        std::size_t tok_pos = pos;
+        pos += kw.size();
+        if (mutable_decl(tok_pos + kw.size())) {
+          report_mutable(tok_pos, "'" + std::string(kw) +
+                                      "' variable is not const/constexpr");
+        }
+      }
+    }
+
+    // (2) keywordless definitions at namespace scope. Track brace
+    // contexts: a '{' whose statement head starts with `namespace`
+    // keeps us at namespace scope; every other '{' (class, function,
+    // enum, initializer) enters a non-namespace region.
+    std::vector<bool> ns_brace;
+    std::size_t stmt_begin = 0;
+    for (std::size_t i = 0; i < stripped.size(); ++i) {
+      char c = stripped[i];
+      if (c == '#') {
+        // Preprocessor directive: consume to end of line (honoring
+        // backslash continuations), then restart the statement, so
+        // includes/conditionals never pollute the next head.
+        while (i < stripped.size()) {
+          std::size_t eol = stripped.find('\n', i);
+          if (eol == std::string_view::npos) {
+            i = stripped.size();
+            break;
+          }
+          if (eol > 0 && stripped[eol - 1] == '\\') {
+            i = eol + 1;
+            continue;
+          }
+          i = eol;
+          break;
+        }
+        stmt_begin = i + 1;
+      } else if (c == '{') {
+        std::string_view head =
+            trim(stripped.substr(stmt_begin, i - stmt_begin));
+        bool at_ns = std::all_of(ns_brace.begin(), ns_brace.end(),
+                                 [](bool b) { return b; });
+        // The tokens immediately before the brace decide the context:
+        // `namespace` or `namespace <ident>` opens a namespace.
+        std::size_t tail = head.size();
+        while (tail > 0 && is_ident_char(head[tail - 1])) --tail;
+        std::string_view last = head.substr(tail);
+        std::size_t prev_end = tail;
+        while (prev_end > 0 &&
+               std::isspace(static_cast<unsigned char>(head[prev_end - 1])) !=
+                   0) {
+          --prev_end;
+        }
+        std::size_t prev_begin = prev_end;
+        while (prev_begin > 0 && is_ident_char(head[prev_begin - 1])) {
+          --prev_begin;
+        }
+        std::string_view second_last =
+            head.substr(prev_begin, prev_end - prev_begin);
+        bool opens_ns = last == "namespace" || second_last == "namespace";
+        if (at_ns && head.find('=') != std::string_view::npos) {
+          // `Type name = {...};` initializer: consume the balanced
+          // braces without entering a context, keep the statement open.
+          int depth = 0;
+          for (; i < stripped.size(); ++i) {
+            if (stripped[i] == '{') ++depth;
+            if (stripped[i] == '}' && --depth == 0) break;
+          }
+          continue;
+        }
+        ns_brace.push_back(opens_ns);
+        stmt_begin = i + 1;
+      } else if (c == '}') {
+        if (!ns_brace.empty()) ns_brace.pop_back();
+        stmt_begin = i + 1;
+      } else if (c == ';') {
+        // Inside at least one `namespace { ... }` and nothing else:
+        // file-top fragments (no enclosing namespace) are not scanned,
+        // matching the repo convention that all code lives in lmk::.
+        bool at_ns = !ns_brace.empty() &&
+                     std::all_of(ns_brace.begin(), ns_brace.end(),
+                                 [](bool b) { return b; });
+        std::string_view head =
+            trim(stripped.substr(stmt_begin, i - stmt_begin));
+        if (at_ns && !head.empty()) {
+          std::string_view first = head.substr(0, head.find_first_of(" \t\n"));
+          bool skip = first == "using" || first == "typedef" ||
+                      first == "static_assert" || first == "template" ||
+                      first == "extern" || first == "friend" ||
+                      first == "struct" || first == "class" ||
+                      first == "union" || first == "enum" ||
+                      first == "namespace" || first == "static" ||
+                      first == "thread_local";  // scan (1) owns these
+          std::size_t head_off = skip_ws(stripped, stmt_begin);
+          if (!skip && mutable_decl(head_off)) {
+            report_mutable(head_off,
+                           "namespace-scope variable is not const/constexpr");
+          }
+        }
+        stmt_begin = i + 1;
+      }
+    }
+  }
+
   // --- unordered-iteration ---
   std::vector<std::string> unordered = collect_unordered_vars(stripped);
   if (!opts.companion_decls.empty()) {

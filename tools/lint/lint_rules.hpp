@@ -49,6 +49,18 @@
 //                        lookup-only (or every walk over it is
 //                        order-independent).
 //
+//   mutable-global       Mutable state with static storage duration:
+//                        `static` / `thread_local` variable
+//                        declarations (any scope) and keywordless
+//                        namespace-scope variable definitions. Sweep
+//                        cells run concurrently on the thread pool, so
+//                        hidden globals either race or make one cell's
+//                        result depend on which cells ran before it.
+//                        Every site must be const/constexpr or carry
+//                        `// lmk-lint: allow(mutable-global) <reason>`
+//                        asserting why the state is benign (per-thread,
+//                        pool plumbing guarded by a mutex, ...).
+//
 // Any rule can be suppressed for one line with
 // `// lmk-lint: allow(<rule>) <reason>` — reserved for sites reviewed
 // to be safe; prefer fixing.
