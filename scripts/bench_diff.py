@@ -18,6 +18,24 @@ and exits nonzero when:
     show a parallel speedup. Under-provisioned machines print the
     numbers and skip the gate, with a note saying why.
 
+When a flagship run (BENCH_flagship.json, produced by bench_flagship)
+and its committed baseline are both present, three further gates run on
+the *deterministic* section — virtual-time latencies and exact byte
+counts, so they are immune to machine noise and any violation is a real
+behaviour change, not jitter:
+
+  * p99 response latency must not exceed the baseline's by more than
+    --flagship-latency-threshold (default 10%);
+  * the streaming-build arena high-water mark must stay within
+    --arena-threshold (default 25%) of the baseline's (the batch-sized
+    memory budget of the streaming insert path);
+  * total bytes on the wire must not grow by more than
+    --wire-threshold (default 10%).
+
+The flagship gates are scale-matched: when the current run's "scale"
+section differs from the baseline's (e.g. an LMK_FULL run against the
+committed smoke baseline), the gates are skipped with a note.
+
 Throughput on shared CI runners is noisy, so CI invokes this with
 --warn-only: the comparison is printed and annotated but never breaks
 the build. Local runs (scripts/check.sh --bench-smoke) fail hard.
@@ -42,6 +60,101 @@ def load_doc(path):
     return doc
 
 
+def load_flagship(path):
+    """Flagship docs are optional: None (with a reason) when absent."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError:
+        return None, f"{path} not present"
+    except ValueError as err:
+        sys.exit(f"bench_diff: {path} is not valid JSON: {err}")
+    if not isinstance(doc.get("deterministic"), dict):
+        sys.exit(f"bench_diff: {path} has no \"deterministic\" section")
+    return doc, None
+
+
+def check_flagship(args, gate):
+    base_doc, why = load_flagship(args.flagship_baseline)
+    if base_doc is None:
+        print(f"bench_diff: flagship gates skipped — {why}")
+        return
+    cur_doc, why = load_flagship(args.flagship)
+    if cur_doc is None:
+        print(f"bench_diff: flagship gates skipped — {why}")
+        return
+
+    base_scale = base_doc.get("scale", {})
+    cur_scale = cur_doc.get("scale", {})
+    if base_scale != cur_scale:
+        diff = {k for k in set(base_scale) | set(cur_scale)
+                if base_scale.get(k) != cur_scale.get(k)}
+        print(f"bench_diff: flagship gates skipped — scale mismatch vs "
+              f"baseline ({', '.join(sorted(diff))}); deterministic "
+              f"numbers are only comparable at identical scale")
+        return
+
+    base = base_doc["deterministic"]
+    cur = cur_doc["deterministic"]
+
+    # --- p99 latency (virtual time: deterministic, noise-free) ---
+    base_p99 = float(base.get("latency_ms", {}).get("p99", 0))
+    cur_p99 = float(cur.get("latency_ms", {}).get("p99", 0))
+    if base_p99 > 0 and cur_p99 > 0:
+        growth = cur_p99 / base_p99
+        ceil = 1.0 + args.flagship_latency_threshold
+        print(f"bench_diff: flagship p99 {cur_p99:.2f}ms vs baseline "
+              f"{base_p99:.2f}ms ({growth:.2f}x)")
+        if growth > ceil:
+            gate(f"flagship p99 latency grew {growth:.2f}x over baseline "
+                 f"(ceiling {ceil:.2f}x) — virtual-time metric, not noise")
+    else:
+        print("bench_diff: flagship p99 missing on one side (skipped)")
+
+    # --- arena high-water mark (streaming-build memory budget) ---
+    base_arena = int(base.get("memory", {}).get("arena_high_water", 0))
+    cur_arena = int(cur.get("memory", {}).get("arena_high_water", 0))
+    if base_arena > 0 and cur_arena > 0:
+        budget = int(base_arena * (1.0 + args.arena_threshold))
+        print(f"bench_diff: flagship arena high-water {cur_arena:,} bytes "
+              f"vs baseline {base_arena:,} (budget {budget:,})")
+        if cur_arena > budget:
+            gate(f"flagship arena high-water {cur_arena:,} bytes exceeds "
+                 f"the budget {budget:,} (baseline {base_arena:,} "
+                 f"+ {args.arena_threshold:.0%})")
+    else:
+        print("bench_diff: flagship arena high-water missing on one side "
+              "(skipped)")
+
+    # --- bytes on the wire (exact counter, hard ceiling) ---
+    base_wire = float(base.get("wire", {}).get("total_bytes", 0))
+    cur_wire = float(cur.get("wire", {}).get("total_bytes", 0))
+    if base_wire > 0 and cur_wire > 0:
+        growth = cur_wire / base_wire
+        ceil = 1.0 + args.wire_threshold
+        print(f"bench_diff: flagship wire {cur_wire:,.0f} bytes vs "
+              f"baseline {base_wire:,.0f} ({growth:.2f}x)")
+        if growth > ceil:
+            gate(f"flagship bytes-on-wire grew {growth:.2f}x over "
+                 f"baseline (ceiling {ceil:.2f}x) — exact counter, "
+                 f"not noise")
+    else:
+        print("bench_diff: flagship wire bytes missing on one side "
+              "(skipped)")
+
+    # Informational: recall and queue depth travel with the same file.
+    base_recall = float(base.get("recall", {}).get("mean", -1))
+    cur_recall = float(cur.get("recall", {}).get("mean", -1))
+    if base_recall >= 0 and cur_recall >= 0:
+        print(f"bench_diff: flagship recall {cur_recall:.3f} vs baseline "
+              f"{base_recall:.3f} (informational)")
+    base_q = base.get("queue", {}).get("max_depth")
+    cur_q = cur.get("queue", {}).get("max_depth")
+    if base_q is not None and cur_q is not None:
+        print(f"bench_diff: flagship max queue depth {cur_q} vs baseline "
+              f"{base_q} (informational)")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline", default="bench/BENCH_perf.baseline.json")
@@ -58,19 +171,51 @@ def main():
     ap.add_argument("--sweep-min-cores", type=int, default=8,
                     help="hardware threads (and pool threads) needed "
                          "before the sweep floor is enforced")
+    ap.add_argument("--flagship-baseline",
+                    default="bench/BENCH_flagship.baseline.json")
+    ap.add_argument("--flagship", default="BENCH_flagship.json",
+                    help="current flagship run (gates skipped when the "
+                         "file is absent)")
+    ap.add_argument("--flagship-latency-threshold", type=float,
+                    default=0.10,
+                    help="allowed fractional growth of the flagship p99 "
+                         "virtual-time latency")
+    ap.add_argument("--arena-threshold", type=float, default=0.25,
+                    help="allowed fractional growth of the flagship "
+                         "arena high-water mark")
+    ap.add_argument("--wire-threshold", type=float, default=0.10,
+                    help="allowed fractional growth of flagship bytes "
+                         "on the wire")
+    ap.add_argument("--flagship-only", action="store_true",
+                    help="run only the flagship gates (for a CI leg that "
+                         "produces no BENCH_perf.json)")
     ap.add_argument("--warn-only", action="store_true",
                     help="report regressions but always exit 0 (CI)")
     args = ap.parse_args()
-
-    base_doc = load_doc(args.baseline)
-    cur_doc = load_doc(args.current)
-    base = base_doc["online"]
-    cur = cur_doc["online"]
 
     failures = []
 
     def gate(msg):
         failures.append(msg)
+
+    if args.flagship_only:
+        check_flagship(args, gate)
+        if failures:
+            for msg in failures:
+                full = f"bench_diff: REGRESSION — {msg}"
+                if args.warn_only:
+                    print(f"::warning::{full}")
+                    print(full)
+                else:
+                    print(full, file=sys.stderr)
+            return 0 if args.warn_only else 1
+        print("bench_diff: OK (flagship only)")
+        return 0
+
+    base_doc = load_doc(args.baseline)
+    cur_doc = load_doc(args.current)
+    base = base_doc["online"]
+    cur = cur_doc["online"]
 
     # --- engine events/sec (wall clock, hard floor) ---
     base_eps = float(base.get("engine_events_per_sec", 0))
@@ -151,6 +296,9 @@ def main():
                   f"measure scheduler noise")
     else:
         print("bench_diff: no sweep section in current run (skipped)")
+
+    # --- flagship open-loop scenario (deterministic gates) ---
+    check_flagship(args, gate)
 
     if failures:
         for msg in failures:

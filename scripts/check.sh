@@ -24,6 +24,17 @@
 #                                       # bench/BENCH_perf.baseline.json
 #                                       # (--warn-only: report, never fail —
 #                                       # what CI uses on shared runners)
+#   scripts/check.sh --flagship-smoke [--warn-only]
+#                                       # reduced-scale bench_flagship run
+#                                       # (256 nodes / 20k objects), twice:
+#                                       # LMK_THREADS=1 and =8, byte-compares
+#                                       # the deterministic JSON sections
+#                                       # (that cmp fails hard even under
+#                                       # --warn-only), then bench_diff.py
+#                                       # --flagship-only gates p99 latency,
+#                                       # arena high-water, and bytes on the
+#                                       # wire against the committed
+#                                       # bench/BENCH_flagship.baseline.json
 #
 # Every build is -Werror for src/ and tools/ (LMK_WERROR=ON). Each
 # sanitizer gets its own build directory (build-check-<san>) so
@@ -95,6 +106,36 @@ run_bench_smoke() {
   echo "bench smoke: fig2 sweep byte-identical at 1 and 8 threads"
   scripts/bench_diff.py --current build-check/BENCH_perf.smoke.json "$@"
 }
+
+run_flagship_smoke() {
+  echo "== check.sh: flagship smoke (reduced open-loop scenario) =="
+  cmake -B build-check -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DLMK_WERROR=ON >/dev/null
+  cmake --build build-check -j"$(nproc)" --target bench_flagship >/dev/null
+  # The deterministic section (virtual-time latency, wire bytes, arena
+  # marks, recall) must be byte-identical at any thread count; only the
+  # wallclock section may differ.  Run the reduced scenario serial and
+  # wide, compare the deterministic JSON, gate on the committed baseline.
+  LMK_THREADS=1 \
+    LMK_FLAGSHIP_OUT=build-check/BENCH_flagship.smoke.json \
+    LMK_FLAGSHIP_DET_OUT=build-check/flagship_det.t1.json \
+    ./build-check/bench/bench_flagship
+  LMK_THREADS=8 \
+    LMK_FLAGSHIP_OUT=build-check/BENCH_flagship.smoke.t8.json \
+    LMK_FLAGSHIP_DET_OUT=build-check/flagship_det.t8.json \
+    ./build-check/bench/bench_flagship >/dev/null
+  cmp build-check/flagship_det.t1.json build-check/flagship_det.t8.json
+  echo "flagship smoke: deterministic section byte-identical at 1 and 8 threads"
+  scripts/bench_diff.py --flagship-only \
+    --flagship build-check/BENCH_flagship.smoke.json "$@"
+}
+
+if [ "${1:-}" = "--flagship-smoke" ]; then
+  shift
+  run_flagship_smoke "$@"
+  echo "check.sh: OK (flagship smoke)"
+  exit 0
+fi
 
 if [ "${1:-}" = "--bench-smoke" ]; then
   shift

@@ -84,7 +84,7 @@ AuditReport Auditor::audit_queries(std::uint32_t scheme,
     clamp_region(clamped, sch.boundary);
     std::vector<std::uint64_t> expected;
     for (ChordNode* node : nodes) {
-      for (const IndexEntry& e : platform_->store(*node, scheme)) {
+      for (EntryView e : platform_->store(*node, scheme)) {
         bool inside = true;
         for (std::size_t d = 0; d < e.point.size(); ++d) {
           const Interval& r = clamped.ranges[d];
@@ -137,7 +137,7 @@ AuditReport Auditor::audit_queries(std::uint32_t scheme,
         Id holder = origin->id();
         bool found = false;
         for (ChordNode* node : nodes) {
-          for (const IndexEntry& e : platform_->store(*node, scheme)) {
+          for (EntryView e : platform_->store(*node, scheme)) {
             if (e.object == diff[i]) {
               holder = node->id();
               found = true;

@@ -210,7 +210,7 @@ void PartitionChecker::check(const AuditContext& ctx, AuditReport* out) {
     for (std::uint32_t s = 0;
          s < static_cast<std::uint32_t>(platform.scheme_count()); ++s) {
       const SchemeRouting& sch = platform.scheme(s);
-      for (const IndexEntry& e : platform.store(*node, s)) {
+      for (EntryView e : platform.store(*node, s)) {
         out->checks += 2;
         Id expect_key = lph_hash(e.point, sch.boundary) + sch.rotation;
         if (e.key != expect_key) {
@@ -249,7 +249,7 @@ std::vector<ConservationChecker::Item> ConservationChecker::collect(
   for (ChordNode* node : alive_by_id(*ctx.ring)) {
     for (std::uint32_t s = 0;
          s < static_cast<std::uint32_t>(ctx.platform->scheme_count()); ++s) {
-      for (const IndexEntry& e : ctx.platform->store(*node, s)) {
+      for (EntryView e : ctx.platform->store(*node, s)) {
         items.emplace_back(s, e.object, e.key);
       }
     }

@@ -42,7 +42,7 @@ std::uint64_t node_state_digest(const ChordNode& node,
       // Multiset hash: sum of per-entry digests, insensitive to the
       // store's vector order.
       std::uint64_t sum = 0;
-      for (const IndexEntry& e : entries) {
+      for (EntryView e : entries) {
         std::uint64_t eh = kFnvOffset;
         mix(&eh, e.key);
         mix(&eh, e.object);

@@ -1,0 +1,77 @@
+#include "common/arena.hpp"
+
+namespace lmk {
+
+namespace {
+
+std::size_t align_up(std::size_t v, std::size_t align) {
+  return (v + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+Arena::Arena(std::size_t chunk_bytes) : chunk_bytes_(chunk_bytes) {
+  LMK_CHECK(chunk_bytes_ > 0);
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  LMK_CHECK(align > 0 && (align & (align - 1)) == 0);
+  if (bytes == 0) bytes = 1;
+  ++stats_.allocations;
+  stats_.requested_bytes += bytes;
+  // Find a chunk with room, starting from the current one; chunks
+  // before `current_` are full, chunks after it were retained by
+  // reset() and are empty.
+  while (current_ < chunks_.size()) {
+    Chunk& c = chunks_[current_];
+    // Align the absolute address, not the offset: new[] only guarantees
+    // alignof(max_align_t) for the chunk base, so an offset-aligned
+    // pointer is under-aligned whenever align exceeds that guarantee.
+    const auto base = reinterpret_cast<std::uintptr_t>(c.data.get());
+    std::size_t at = align_up(base + c.used, align) - base;
+    if (at + bytes <= c.size) {
+      c.used = at + bytes;
+      stats_.live_bytes += bytes;
+      stats_.high_water_bytes =
+          std::max(stats_.high_water_bytes, stats_.live_bytes);
+      return c.data.get() + at;
+    }
+    ++current_;
+  }
+  // Oversized requests get a dedicated chunk; normal ones a fresh
+  // default-sized chunk. align <= alignof(max_align_t) is guaranteed
+  // by new[], larger alignments pad.
+  std::size_t want = std::max(chunk_bytes_, bytes + align);
+  Chunk c;
+  c.data = std::make_unique<std::byte[]>(want);
+  c.size = want;
+  stats_.reserved_bytes += want;
+  chunks_.push_back(std::move(c));
+  current_ = chunks_.size() - 1;
+  Chunk& back = chunks_.back();
+  std::size_t at =
+      align_up(reinterpret_cast<std::uintptr_t>(back.data.get()), align) -
+      reinterpret_cast<std::uintptr_t>(back.data.get());
+  back.used = at + bytes;
+  LMK_CHECK(back.used <= back.size);
+  stats_.live_bytes += bytes;
+  stats_.high_water_bytes =
+      std::max(stats_.high_water_bytes, stats_.live_bytes);
+  return back.data.get() + at;
+}
+
+void Arena::reset() {
+  for (Chunk& c : chunks_) c.used = 0;
+  current_ = 0;
+  stats_.live_bytes = 0;
+  ++stats_.resets;
+}
+
+void Arena::release() {
+  chunks_.clear();
+  current_ = 0;
+  stats_.live_bytes = 0;
+  stats_.reserved_bytes = 0;
+}
+
+}  // namespace lmk

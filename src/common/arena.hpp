@@ -1,0 +1,138 @@
+// Bump and pool allocation for flagship-scale runs.
+//
+// Flagship scenarios (10k nodes, 1M+ objects) die by a thousand small
+// heap allocations: per-batch mapping scratch during streaming index
+// construction and per-query reply buffers in flight inside the
+// platform. Two shapes cover both:
+//
+//   - Arena: a chunked bump allocator. allocate() is a pointer bump;
+//     reset() recycles every chunk without returning memory to the
+//     heap, so a steady-state batch loop allocates from the OS only
+//     until the high-water mark is reached.
+//   - RecyclePool<T>: a free list of cleared containers that keep
+//     their capacity across uses (acquire/release), for in-flight
+//     buffers whose lifetime is one message.
+//
+// Both carry byte/high-water counters so allocation traffic is a
+// first-class reported number in benches (see ArenaStats /
+// RecyclePoolStats).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace lmk {
+
+/// Counter snapshot for one Arena.
+struct ArenaStats {
+  std::uint64_t allocations = 0;      ///< allocate() calls ever
+  std::uint64_t requested_bytes = 0;  ///< cumulative bytes requested
+  std::uint64_t live_bytes = 0;       ///< bytes handed out since last reset
+  std::uint64_t high_water_bytes = 0; ///< max live_bytes ever observed
+  std::uint64_t reserved_bytes = 0;   ///< chunk capacity owned from the heap
+  std::uint64_t resets = 0;           ///< reset() calls
+};
+
+/// Chunked bump allocator. Not thread-safe; each user owns its arena.
+/// Allocations are never individually freed — reset() reclaims
+/// everything at once while keeping the chunks for reuse.
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultChunkBytes = std::size_t{1} << 20;
+
+  explicit Arena(std::size_t chunk_bytes = kDefaultChunkBytes);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocate `bytes` with the given alignment (power of two).
+  void* allocate(std::size_t bytes,
+                 std::size_t align = alignof(std::max_align_t));
+
+  /// Typed helper: an uninitialized span of n trivially-destructible
+  /// elements (callers write every slot before reading).
+  template <typename T>
+  std::span<T> allocate_span(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without running destructors");
+    auto* p = static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+    return {p, n};
+  }
+
+  /// Recycle all allocations: live bytes drop to zero, chunks are kept
+  /// so the next fill pattern reuses the same heap memory.
+  void reset();
+
+  /// Return all chunk memory to the heap (reserved bytes drop to zero).
+  void release();
+
+  const ArenaStats& stats() const { return stats_; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  std::vector<Chunk> chunks_;
+  std::size_t current_ = 0;  ///< index of the chunk being bumped
+  std::size_t chunk_bytes_;
+  ArenaStats stats_;
+};
+
+/// Counter snapshot for one RecyclePool.
+struct RecyclePoolStats {
+  std::uint64_t acquires = 0;    ///< acquire() calls ever
+  std::uint64_t hits = 0;        ///< acquires served from the free list
+  std::uint64_t live = 0;        ///< buffers currently checked out
+  std::uint64_t high_water = 0;  ///< max simultaneously checked out
+  std::uint64_t pooled = 0;      ///< buffers parked on the free list
+};
+
+/// Free list of containers that keep their capacity between uses. T
+/// must be default-constructible, movable, and have clear(). Used for
+/// in-flight buffers (e.g. per-query reply accumulators) whose churn
+/// would otherwise be one heap allocation per message.
+template <typename T>
+class RecyclePool {
+ public:
+  /// Hand out a cleared container, reusing a parked one when possible.
+  T acquire() {
+    ++stats_.acquires;
+    ++stats_.live;
+    stats_.high_water = std::max(stats_.high_water, stats_.live);
+    if (free_.empty()) return T{};
+    ++stats_.hits;
+    T out = std::move(free_.back());
+    free_.pop_back();
+    --stats_.pooled;
+    return out;
+  }
+
+  /// Park a container for reuse; its contents are cleared, its
+  /// capacity is retained.
+  void release(T&& v) {
+    LMK_CHECK(stats_.live > 0);
+    --stats_.live;
+    v.clear();
+    free_.push_back(std::move(v));
+    ++stats_.pooled;
+  }
+
+  const RecyclePoolStats& stats() const { return stats_; }
+
+ private:
+  std::vector<T> free_;
+  RecyclePoolStats stats_;
+};
+
+}  // namespace lmk

@@ -1,6 +1,7 @@
 // Streaming and batch statistics used by the evaluation harness.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <vector>
 
@@ -38,8 +39,41 @@ class Accumulator {
 };
 
 /// Batch percentile with linear interpolation; p in [0, 100].
-/// Copies and sorts internally (callers keep their data).
+/// Copies internally (callers keep their data).
 [[nodiscard]] double percentile(std::vector<double> values, double p);
+
+/// In-place percentile: same value as percentile() but partially orders
+/// `values` with nth_element instead of copying and fully sorting — use
+/// this on large sample vectors the caller no longer needs ordered.
+[[nodiscard]] double percentile_nth(std::vector<double>& values, double p);
+
+/// Bounded-memory streaming quantile estimator (the P² algorithm of
+/// Jain & Chlamtac, 1985): five markers adjusted by parabolic
+/// interpolation, O(1) memory regardless of stream length. Exact for
+/// fewer than five observations. Intended for tail quantiles (p999)
+/// over sample streams too large to buffer.
+class P2Quantile {
+ public:
+  /// q is the quantile in (0, 1), e.g. 0.999 for p999.
+  explicit P2Quantile(double q);
+
+  /// Add one observation.
+  void add(double x);
+
+  /// Current estimate (exact while fewer than five observations).
+  [[nodiscard]] double value() const;
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double quantile() const { return q_; }
+
+ private:
+  double q_;
+  std::size_t n_ = 0;
+  std::array<double, 5> h_{};     ///< marker heights
+  std::array<double, 5> pos_{};   ///< actual marker positions (1-based)
+  std::array<double, 5> want_{};  ///< desired marker positions
+  std::array<double, 5> dpos_{};  ///< desired-position increments
+};
 
 /// Gini coefficient of a non-negative load vector — the load-imbalance
 /// summary used by the load-balancing benches (0 = perfectly even,

@@ -69,8 +69,7 @@ IndexPlatform::SchemeStore& IndexPlatform::scheme_store(const ChordNode& n,
   return store_of(n).per_scheme[scheme];
 }
 
-std::vector<IndexEntry>& IndexPlatform::entries(const ChordNode& n,
-                                                std::uint32_t scheme) {
+EntryStore& IndexPlatform::entries(const ChordNode& n, std::uint32_t scheme) {
   SchemeStore& ss = scheme_store(n, scheme);
   ++ss.version;  // the caller may mutate; order indices rebuild lazily
   return ss.entries;
@@ -82,7 +81,7 @@ void IndexPlatform::ensure_order_index(SchemeStore& ss, std::size_t dims) {
   const auto n = static_cast<std::uint32_t>(ss.entries.size());
   for (std::size_t d = 0; d < dims; ++d) ss.order[d].reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
-    const IndexPoint& p = ss.entries[i].point;
+    std::span<const double> p = ss.entries.point(i);
     for (std::size_t d = 0; d < dims; ++d) {
       ss.order[d].emplace_back(p[d], i);
     }
@@ -114,8 +113,14 @@ void IndexPlatform::insert(std::uint32_t scheme_id, std::uint64_t object,
                            const IndexPoint& point) {
   const SchemeRouting& sch = scheme(scheme_id);
   Id key = lph_hash(point, sch.boundary) + sch.rotation;
+  if (opts_.replication <= 1) {
+    // Unreplicated fast path: no per-insert replica-list allocation.
+    entries(*ring_.oracle_successor(key), scheme_id)
+        .push_back(key, object, point);
+    return;
+  }
   for (ChordNode* node : replica_nodes(key)) {
-    entries(*node, scheme_id).push_back(IndexEntry{key, object, point});
+    entries(*node, scheme_id).push_back(key, object, point);
   }
 }
 
@@ -131,9 +136,43 @@ void IndexPlatform::bulk_insert(std::uint32_t scheme_id,
     keys[i] = lph_hash(points[i], sch.boundary) + sch.rotation;
   });
   for (std::size_t i = 0; i < points.size(); ++i) {
+    if (opts_.replication <= 1) {
+      entries(*ring_.oracle_successor(keys[i]), scheme_id)
+          .push_back(keys[i], first_object + i, points[i]);
+      continue;
+    }
     for (ChordNode* node : replica_nodes(keys[i])) {
       entries(*node, scheme_id)
-          .push_back(IndexEntry{keys[i], first_object + i, points[i]});
+          .push_back(keys[i], first_object + i, points[i]);
+    }
+  }
+}
+
+void IndexPlatform::bulk_insert_flat(std::uint32_t scheme_id,
+                                     std::span<const double> coords,
+                                     std::size_t dims,
+                                     std::uint64_t first_object) {
+  const SchemeRouting& sch = scheme(scheme_id);
+  LMK_CHECK(dims > 0 && coords.size() % dims == 0);
+  LMK_CHECK(dims == sch.boundary.size());
+  const std::size_t n = coords.size() / dims;
+  // Same two-phase structure as bulk_insert, but the points live in one
+  // flat row-major buffer (the streaming-load path hands in arena
+  // scratch) — no per-point IndexPoint materialization anywhere.
+  std::vector<Id> keys(n);
+  parallel_for(n, [&](std::size_t i) {
+    keys[i] =
+        lph_hash(coords.subspan(i * dims, dims), sch.boundary) + sch.rotation;
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    std::span<const double> row = coords.subspan(i * dims, dims);
+    if (opts_.replication <= 1) {
+      entries(*ring_.oracle_successor(keys[i]), scheme_id)
+          .push_back(keys[i], first_object + i, row);
+      continue;
+    }
+    for (ChordNode* node : replica_nodes(keys[i])) {
+      entries(*node, scheme_id).push_back(keys[i], first_object + i, row);
     }
   }
 }
@@ -148,33 +187,19 @@ void IndexPlatform::insert_via_network(ChordNode& origin,
       origin, key,
       [this, scheme_id, object, key, point = std::move(point),
        done = std::move(done)](NodeRef owner, int hops) {
-        entries(*owner.node, scheme_id)
-            .push_back(IndexEntry{key, object, point});
+        entries(*owner.node, scheme_id).push_back(key, object, point);
         // Replica propagation: the owner pushes copies down its
         // successor chain (modeled as oracle placement; the one-hop
         // store messages are not part of the paper's cost model).
-        for (ChordNode* replica : replica_nodes(key)) {
-          if (replica == owner.node) continue;
-          entries(*replica, scheme_id)
-              .push_back(IndexEntry{key, object, point});
+        if (opts_.replication > 1) {
+          for (ChordNode* replica : replica_nodes(key)) {
+            if (replica == owner.node) continue;
+            entries(*replica, scheme_id).push_back(key, object, point);
+          }
         }
         if (done) done(hops);
       });
 }
-
-namespace {
-
-bool erase_entry(std::vector<IndexEntry>& vec, std::uint64_t object, Id key) {
-  for (auto it = vec.begin(); it != vec.end(); ++it) {
-    if (it->object == object && it->key == key) {
-      vec.erase(it);
-      return true;
-    }
-  }
-  return false;
-}
-
-}  // namespace
 
 bool IndexPlatform::remove(std::uint32_t scheme_id, std::uint64_t object,
                            const IndexPoint& point) {
@@ -182,7 +207,7 @@ bool IndexPlatform::remove(std::uint32_t scheme_id, std::uint64_t object,
   Id key = lph_hash(point, sch.boundary) + sch.rotation;
   bool removed = false;
   for (ChordNode* node : replica_nodes(key)) {
-    removed |= erase_entry(entries(*node, scheme_id), object, key);
+    removed |= entries(*node, scheme_id).erase_first(object, key);
   }
   return removed;
 }
@@ -199,7 +224,7 @@ void IndexPlatform::remove_via_network(
         (void)owner;  // replica_nodes(key) starts at the owner
         bool removed = false;
         for (ChordNode* replica : replica_nodes(key)) {
-          removed |= erase_entry(entries(*replica, scheme_id), object, key);
+          removed |= entries(*replica, scheme_id).erase_first(object, key);
         }
         if (done) done(removed, hops);
       });
@@ -314,6 +339,12 @@ void IndexPlatform::on_solve(const RangeQuery& q, ChordNode& node) {
   // contents — the reply assembly downstream sorts and dedups by
   // (object, score), so results stay byte-identical to a full scan.
   PendingReply& reply = pending_replies_[q.qid][&node];
+  if (!reply.pooled) {
+    // Fresh (query, node) reply: back its scored buffer with a pooled
+    // vector so steady-state query traffic stops allocating.
+    reply.scored = reply_pool_.acquire();
+    reply.pooled = true;
+  }
   std::uint64_t evaluated = 0;
   SchemeStore& ss = scheme_store(node, aq.scheme);
   const std::size_t dims = scheme(aq.scheme).boundary.size();
@@ -346,21 +377,23 @@ void IndexPlatform::on_solve(const RangeQuery& q, ChordNode& node) {
   aq.outcome.scanned += best_count;
   const auto& ord = ss.order[best_d];
   for (std::size_t k = best_lo; k < best_hi; ++k) {
-    const IndexEntry& e = ss.entries[ord[k].second];
+    const std::size_t ei = ord[k].second;
+    std::span<const double> pt = ss.entries.point(ei);
     bool inside = true;
-    for (std::size_t d = 0; d < e.point.size(); ++d) {
+    for (std::size_t d = 0; d < pt.size(); ++d) {
       if (d == best_d) continue;  // the slice already satisfies best_d
       const Interval& r = q.region.ranges[d];
-      if (e.point[d] < r.lo || e.point[d] > r.hi) {
+      if (pt[d] < r.lo || pt[d] > r.hi) {
         inside = false;
         break;
       }
     }
     if (!inside) continue;
     ++evaluated;
-    double score = aq.rank ? aq.rank(e.object)
-                           : index_lower_bound(e.point, q.focus);
-    reply.scored.emplace_back(score, e.object);
+    std::uint64_t object = ss.entries.object(ei);
+    double score =
+        aq.rank ? aq.rank(object) : index_lower_bound(pt, q.focus);
+    reply.scored.emplace_back(score, object);
   }
 
   aq.outcome.subqueries += 1;
@@ -380,6 +413,7 @@ void IndexPlatform::on_solve(const RangeQuery& q, ChordNode& node) {
     // solves in the same step lands in the same result message.
     reply.flush_scheduled = true;
     aq.replies_pending += 1;
+    store_of(node).pending_replies += 1;
     std::uint64_t qid = q.qid;
     ChordNode* node_ptr = &node;
     // Tagged with the node's host so the event queue can account for
@@ -401,6 +435,9 @@ void IndexPlatform::flush_reply(std::uint64_t qid, ChordNode& node) {
   PendingReply reply = std::move(nit->second);
   qit->second.erase(nit);
   if (qit->second.empty()) pending_replies_.erase(qit);
+  NodeStore& ns = store_of(node);
+  LMK_CHECK(ns.pending_replies > 0);
+  ns.pending_replies -= 1;
 
   // An entry lying exactly on a split plane belongs to both sibling
   // subqueries (closed regions), so it can be scored twice; drop
@@ -425,6 +462,7 @@ void IndexPlatform::flush_reply(std::uint64_t qid, ChordNode& node) {
   std::vector<std::uint64_t> ids;
   ids.reserve(reply.scored.size());
   for (const auto& [score, object] : reply.scored) ids.push_back(object);
+  if (reply.pooled) reply_pool_.release(std::move(reply.scored));
 
   const SchemeRouting& sch = scheme(aq.scheme);
   std::uint64_t bytes =
@@ -487,11 +525,7 @@ void IndexPlatform::drain_all(ChordNode& from, ChordNode& to) {
   NodeStore& src = store_of(from);
   NodeStore& dst = store_of(to);
   for (std::size_t s = 0; s < src.per_scheme.size(); ++s) {
-    auto& sv = src.per_scheme[s].entries;
-    auto& dv = dst.per_scheme[s].entries;
-    dv.insert(dv.end(), std::make_move_iterator(sv.begin()),
-              std::make_move_iterator(sv.end()));
-    sv.clear();
+    dst.per_scheme[s].entries.append_moved(src.per_scheme[s].entries);
     ++src.per_scheme[s].version;
     ++dst.per_scheme[s].version;
   }
@@ -504,16 +538,16 @@ void IndexPlatform::transfer_owned(ChordNode& from, ChordNode& to) {
   NodeStore& src = store_of(from);
   NodeStore& dst = store_of(to);
   for (std::size_t s = 0; s < src.per_scheme.size(); ++s) {
-    auto& sv = src.per_scheme[s].entries;
-    auto& dv = dst.per_scheme[s].entries;
     ++src.per_scheme[s].version;
     ++dst.per_scheme[s].version;
-    auto keep_end = std::partition(
-        sv.begin(), sv.end(),
-        [lo, hi](const IndexEntry& e) { return !in_open_closed(e.key, lo, hi); });
-    dv.insert(dv.end(), std::make_move_iterator(keep_end),
-              std::make_move_iterator(sv.end()));
-    sv.erase(keep_end, sv.end());
+    // Stable extraction: entries `to` now owns move over in store
+    // order, survivors compact in place. (The old vector store used an
+    // unstable std::partition here; store order never reaches query
+    // results — replies are sorted and deduped downstream — so the
+    // simpler stable order is observably identical.)
+    src.per_scheme[s].entries.extract_if(
+        [lo, hi](Id key) { return in_open_closed(key, lo, hi); },
+        dst.per_scheme[s].entries);
   }
 }
 
@@ -525,8 +559,8 @@ Id IndexPlatform::median_key(const ChordNode& n) const {
   // Collect keys in ring order from the predecessor.
   std::vector<Id> offsets;
   for (const auto& ss : it->second.per_scheme) {
-    for (const IndexEntry& e : ss.entries) {
-      offsets.push_back(clockwise_distance(pred, e.key));
+    for (std::size_t i = 0; i < ss.entries.size(); ++i) {
+      offsets.push_back(clockwise_distance(pred, ss.entries.key(i)));
     }
   }
   if (offsets.empty()) return pred;
@@ -571,15 +605,34 @@ const TrafficCounter& IndexPlatform::query_traffic() const {
                                              : naive_.traffic();
 }
 
-const std::vector<IndexEntry>& IndexPlatform::store(const ChordNode& n,
-                                                    std::uint32_t scheme)
-    const {
-  static const std::vector<IndexEntry> kEmpty;
+const EntryStore& IndexPlatform::store(const ChordNode& n,
+                                       std::uint32_t scheme) const {
+  static const EntryStore kEmpty;
   auto it = stores_.find(&n);
   if (it == stores_.end() || scheme >= it->second.per_scheme.size()) {
     return kEmpty;
   }
   return it->second.per_scheme[scheme].entries;
+}
+
+std::size_t IndexPlatform::pending_reply_depth(const ChordNode& n) const {
+  auto it = stores_.find(&n);
+  return it == stores_.end() ? 0 : it->second.pending_replies;
+}
+
+std::uint64_t IndexPlatform::store_bytes() const {
+  std::uint64_t total = 0;
+  // Integer sum over disjoint stores: commutative, order-free.
+  // lmk-lint: iteration-order-independent
+  for (const auto& [node, store] : stores_) {
+    for (const auto& ss : store.per_scheme) {
+      total += ss.entries.memory_bytes();
+      for (const auto& ord : ss.order) {
+        total += ord.capacity() * sizeof(std::pair<double, std::uint32_t>);
+      }
+    }
+  }
+  return total;
 }
 
 void IndexPlatform::check_placement_invariant() const {
@@ -590,11 +643,12 @@ void IndexPlatform::check_placement_invariant() const {
     // crashed node's copies are simply lost (wiped by the next repair).
     if (!node->alive()) continue;
     for (const auto& ss : store.per_scheme) {
-      for (const IndexEntry& e : ss.entries) {
+      for (std::size_t i = 0; i < ss.entries.size(); ++i) {
+        Id key = ss.entries.key(i);
         if (opts_.replication <= 1) {
-          LMK_CHECK(node->owns(e.key));
+          LMK_CHECK(node->owns(key));
         } else {
-          auto replicas = replica_nodes(e.key);
+          auto replicas = replica_nodes(key);
           bool member = false;
           for (ChordNode* r : replicas) member |= (r == node);
           LMK_CHECK(member);
@@ -641,8 +695,10 @@ void IndexPlatform::repair_replication() {
     bool dead = !node->alive();
     for (std::size_t sc = 0; sc < store.per_scheme.size(); ++sc) {
       if (!dead) {
-        for (IndexEntry& e : store.per_scheme[sc].entries) {
-          if (seen[sc][e.object].insert(e.key).second) {
+        const EntryStore& es = store.per_scheme[sc].entries;
+        for (std::size_t i = 0; i < es.size(); ++i) {
+          if (seen[sc][es.object(i)].insert(es.key(i)).second) {
+            IndexEntry e = es.entry(i);
             per_scheme[sc].push_back(
                 Logical{e.key, e.object, std::move(e.point)});
           }
@@ -658,7 +714,7 @@ void IndexPlatform::repair_replication() {
     for (Logical& l : per_scheme[sc]) {
       for (ChordNode* node : replica_nodes(l.key)) {
         entries(*node, static_cast<std::uint32_t>(sc))
-            .push_back(IndexEntry{l.key, l.object, l.point});
+            .push_back(l.key, l.object, l.point);
       }
     }
   }

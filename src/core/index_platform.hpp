@@ -25,18 +25,12 @@
 #include <vector>
 
 #include "balance/migration.hpp"
+#include "common/arena.hpp"
+#include "core/entry_store.hpp"
 #include "routing/naive.hpp"
 #include "routing/router.hpp"
 
 namespace lmk {
-
-/// One stored index entry: the (rotated) placement key, the landmark
-/// index point, and the application object id it stands for.
-struct IndexEntry {
-  Id key = 0;
-  std::uint64_t object = 0;
-  IndexPoint point;
-};
 
 /// What an index node sends back for a subquery.
 enum class ReplyMode {
@@ -143,6 +137,15 @@ class IndexPlatform {
   void bulk_insert(std::uint32_t scheme, std::span<const IndexPoint> points,
                    std::uint64_t first_object = 0);
 
+  /// Flat-buffer bulk load: `coords` holds size/dims row-major index
+  /// points (row i is stored for object first_object + i). This is the
+  /// streaming-construction path — batches of mapped points live in
+  /// arena scratch and flow straight into the SoA stores without ever
+  /// materializing per-point heap vectors. Placement order is identical
+  /// to insert() in a loop for any thread count.
+  void bulk_insert_flat(std::uint32_t scheme, std::span<const double> coords,
+                        std::size_t dims, std::uint64_t first_object = 0);
+
   /// Costed insertion: route a store request from `origin` through Chord
   /// to the owner. `done(hops)` fires when stored.
   void insert_via_network(ChordNode& origin, std::uint32_t scheme,
@@ -189,6 +192,23 @@ class IndexPlatform {
   /// Queries injected but not yet completed.
   [[nodiscard]] std::size_t active_queries() const { return active_.size(); }
 
+  /// Reply messages `n` has accumulated but not yet flushed — the
+  /// per-node queue depth the flagship bench samples while the
+  /// open-loop workload runs.
+  [[nodiscard]] std::size_t pending_reply_depth(const ChordNode& n) const;
+
+  // ----- memory accounting -----
+
+  /// Resident heap bytes of all entry stores plus their order indices
+  /// (the SoA payload the flagship bench reports).
+  [[nodiscard]] std::uint64_t store_bytes() const;
+
+  /// Counters of the in-flight reply-buffer pool (one buffer per
+  /// (query, node) reply under construction).
+  [[nodiscard]] const RecyclePoolStats& reply_pool_stats() const {
+    return reply_pool_.stats();
+  }
+
   // ----- load & migration (used by LoadBalancer and benches) -----
 
   /// Entries stored on `n` summed over schemes (the paper's load value).
@@ -224,16 +244,15 @@ class IndexPlatform {
   // ----- introspection (tests, invariants) -----
 
   /// The entries of one scheme stored on `n`.
-  [[nodiscard]] const std::vector<IndexEntry>& store(const ChordNode& n,
-                                                     std::uint32_t scheme)
-      const;
+  [[nodiscard]] const EntryStore& store(const ChordNode& n,
+                                        std::uint32_t scheme) const;
 
   /// Mutable access to a node's store, bypassing placement. Exists so
   /// the audit mutation tests can inject protocol faults (misplaced,
   /// dropped or duplicated entries) behind the platform's back; regular
   /// code must go through insert/remove/transfer.
-  [[nodiscard]] std::vector<IndexEntry>& mutable_store(const ChordNode& n,
-                                                       std::uint32_t scheme) {
+  [[nodiscard]] EntryStore& mutable_store(const ChordNode& n,
+                                          std::uint32_t scheme) {
     return entries(n, scheme);
   }
 
@@ -259,13 +278,16 @@ class IndexPlatform {
   /// (stores churn in bursts between query batches, so one rebuild
   /// amortizes over the whole batch).
   struct SchemeStore {
-    std::vector<IndexEntry> entries;
+    EntryStore entries;
     std::vector<std::vector<std::pair<double, std::uint32_t>>> order;
     std::uint64_t version = 0;
     std::uint64_t indexed_version = ~std::uint64_t{0};
   };
   struct NodeStore {
     std::vector<SchemeStore> per_scheme;
+    /// Reply flushes scheduled but not yet fired on this node — the
+    /// queue-depth gauge behind pending_reply_depth().
+    std::uint32_t pending_replies = 0;
   };
   struct ActiveQuery {
     std::uint32_t scheme = 0;
@@ -293,14 +315,15 @@ class IndexPlatform {
   struct PendingReply {
     std::vector<std::pair<double, std::uint64_t>> scored;
     bool flush_scheduled = false;
+    bool pooled = false;  ///< scored came from reply_pool_
   };
 
   [[nodiscard]] std::vector<ChordNode*> replica_nodes(Id key) const;
   NodeStore& store_of(const ChordNode& n);
   SchemeStore& scheme_store(const ChordNode& n, std::uint32_t scheme);
-  /// Mutable entry vector; bumps the store version so the order indices
+  /// Mutable entry store; bumps the store version so the order indices
   /// rebuild before the next solve. All writers must come through here.
-  std::vector<IndexEntry>& entries(const ChordNode& n, std::uint32_t scheme);
+  EntryStore& entries(const ChordNode& n, std::uint32_t scheme);
   static void ensure_order_index(SchemeStore& ss, std::size_t dims);
   void on_solve(const RangeQuery& q, ChordNode& node);
   void flush_reply(std::uint64_t qid, ChordNode& node);
@@ -327,6 +350,9 @@ class IndexPlatform {
   QueryRouter router_;
   NaiveRouter naive_;
   TrafficCounter result_traffic_;
+  /// Recycles the scored-candidate buffers of in-flight replies: one
+  /// acquire per (query, node) reply, released when the reply ships.
+  RecyclePool<std::vector<std::pair<double, std::uint64_t>>> reply_pool_;
 };
 
 }  // namespace lmk

@@ -69,6 +69,37 @@ class LandmarkIndex {
     platform_->bulk_insert(scheme_, points, first_object);
   }
 
+  /// Stream-load a corpus that is a *function* rather than a container:
+  /// `make_point(i, out)` writes object i (ids first_object + i) into
+  /// caller storage. The corpus is consumed in batches of `batch`
+  /// objects; each batch is landmark-mapped in parallel into flat
+  /// scratch from `scratch` (reset between batches, so the arena
+  /// high-water mark is one batch regardless of corpus size) and
+  /// bulk-inserted. Placement is identical to insert() in a loop, for
+  /// any thread count and any batch size.
+  template <typename MakePoint>
+  void stream_load(std::uint64_t count, MakePoint&& make_point, Arena& scratch,
+                   std::size_t batch = 8192, std::uint64_t first_object = 0) {
+    LMK_CHECK(batch > 0);
+    const std::size_t dims = mapper_.dims();
+    std::vector<Point> staged(std::min<std::uint64_t>(batch, count));
+    for (std::uint64_t at = 0; at < count; at += batch) {
+      const std::size_t n =
+          static_cast<std::size_t>(std::min<std::uint64_t>(batch, count - at));
+      scratch.reset();
+      std::span<double> coords = scratch.allocate_span<double>(n * dims);
+      // Materialize the batch's domain points (object regeneration may
+      // be stateful per point but is index-addressed, so parallel
+      // production is deterministic), then map them into the flat
+      // coordinate block.
+      parallel_for(n, [&](std::size_t i) {
+        make_point(at + i, staged[i]);
+        mapper_.map_into(staged[i], coords.subspan(i * dims, dims));
+      });
+      platform_->bulk_insert_flat(scheme_, coords, dims, first_object + at);
+    }
+  }
+
   /// Index one object through the network from `origin` (costed).
   void insert_via_network(ChordNode& origin, std::uint64_t object,
                           const Point& p,

@@ -2,7 +2,19 @@
 
 #include <unordered_set>
 
+#include "common/rng.hpp"
+
 namespace lmk {
+
+std::vector<std::size_t> sample_query_indices(std::size_t n_queries,
+                                              std::size_t sample,
+                                              std::uint64_t seed) {
+  LMK_CHECK(sample <= n_queries);
+  Rng rng(seed);
+  std::vector<std::size_t> out = rng.sample_indices(n_queries, sample);
+  std::sort(out.begin(), out.end());
+  return out;
+}
 
 std::vector<std::uint64_t> knn_bruteforce(
     std::size_t n, const std::function<double(std::size_t)>& distance_to,

@@ -96,6 +96,66 @@ knn_bruteforce_batch(const L2Space&, const std::vector<DenseVector>& dataset,
   return out;
 }
 
+/// Seeded selection of a query sample: `sample` distinct indices from
+/// [0, n_queries), ascending. The flagship bench scores recall on this
+/// sample only, so oracle cost is O(sample · n) instead of O(n²).
+[[nodiscard]] std::vector<std::size_t> sample_query_indices(
+    std::size_t n_queries, std::size_t sample, std::uint64_t seed);
+
+/// Exact k-NN truth for a set of (already sampled) query points over a
+/// *streamed* corpus: `fill(first, out)` regenerates objects
+/// first … first+out.size()-1 into caller storage, and the corpus is
+/// consumed once in batches — resident memory is one batch plus one
+/// k-slot heap per query, never the whole dataset.
+///
+/// Each query keeps the k smallest (distance, id) pairs in a bounded
+/// max-heap; that set is unique under the lexicographic total order,
+/// so the result is exact and independent of batch size and thread
+/// count — identical to knn_bruteforce_batch over the materialized
+/// corpus.
+template <typename S, typename FillBatch, typename Point = typename S::Point>
+[[nodiscard]] std::vector<std::vector<std::uint64_t>> knn_truth_streamed(
+    const S& space, std::uint64_t n_objects, FillBatch&& fill,
+    std::span<const Point> queries, std::size_t k,
+    std::size_t batch = 8192) {
+  LMK_CHECK(batch > 0);
+  using Scored = std::pair<double, std::uint64_t>;
+  std::vector<std::vector<Scored>> heaps(queries.size());
+  for (auto& h : heaps) h.reserve(k + 1);
+  std::vector<Point> staged(
+      static_cast<std::size_t>(std::min<std::uint64_t>(batch, n_objects)));
+  for (std::uint64_t at = 0; at < n_objects; at += batch) {
+    const std::size_t n =
+        static_cast<std::size_t>(std::min<std::uint64_t>(batch, n_objects - at));
+    fill(at, std::span<Point>(staged.data(), n));
+    // One task per query (grain 1): each owns its heap outright.
+    parallel_for(
+        queries.size(),
+        [&](std::size_t qi) {
+          auto& heap = heaps[qi];
+          for (std::size_t j = 0; j < n; ++j) {
+            Scored cand{space.distance(queries[qi], staged[j]), at + j};
+            if (heap.size() < k) {
+              heap.push_back(cand);
+              std::push_heap(heap.begin(), heap.end());
+            } else if (k > 0 && cand < heap.front()) {
+              std::pop_heap(heap.begin(), heap.end());
+              heap.back() = cand;
+              std::push_heap(heap.begin(), heap.end());
+            }
+          }
+        },
+        /*grain=*/1);
+  }
+  std::vector<std::vector<std::uint64_t>> out(queries.size());
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    std::sort(heaps[qi].begin(), heaps[qi].end());
+    out[qi].reserve(heaps[qi].size());
+    for (const auto& [d, id] : heaps[qi]) out[qi].push_back(id);
+  }
+  return out;
+}
+
 /// All object ids within `radius` (inclusive) of the query.
 [[nodiscard]] std::vector<std::uint64_t> range_bruteforce(
     std::size_t n, const std::function<double(std::size_t)>& distance_to,

@@ -79,6 +79,18 @@ class LandmarkMapper {
     return out;
   }
 
+  /// Clamped mapping into caller-provided storage — the streaming-load
+  /// path maps whole batches into one flat arena-backed buffer, so no
+  /// per-point IndexPoint is ever allocated.
+  void map_into(const Point& p, std::span<double> out) const {
+    LMK_CHECK(out.size() == dims());
+    for (std::size_t i = 0; i < dims(); ++i) {
+      double d = space_->distance(p, landmarks_[i]);
+      const Interval& b = boundary_[i];
+      out[i] = d < b.lo ? b.lo : (d > b.hi ? b.hi : d);
+    }
+  }
+
   /// Map without boundary clamping — used for query points, whose search
   /// region is clamped as a whole instead (a query just outside the
   /// boundary must still see entries near the edge).
@@ -142,14 +154,24 @@ template <MetricSpace S>
 
 /// L∞ distance between two index points — the contractive lower bound on
 /// the original metric distance, used to rank candidates at index nodes.
-[[nodiscard]] inline double index_lower_bound(const IndexPoint& a,
-                                              const IndexPoint& b) {
+/// Span-based so SoA stores can pass coordinate rows without
+/// materializing an IndexPoint (std::vector<double> converts
+/// implicitly).
+[[nodiscard]] inline double index_lower_bound(std::span<const double> a,
+                                              std::span<const double> b) {
   LMK_DCHECK(a.size() == b.size());
   double acc = 0;
   for (std::size_t i = 0; i < a.size(); ++i) {
     acc = std::max(acc, std::abs(a[i] - b[i]));
   }
   return acc;
+}
+
+/// Braced-list convenience for tests.
+[[nodiscard]] inline double index_lower_bound(
+    std::initializer_list<double> a, std::initializer_list<double> b) {
+  return index_lower_bound(std::span<const double>(a.begin(), a.size()),
+                           std::span<const double>(b.begin(), b.size()));
 }
 
 }  // namespace lmk

@@ -4,7 +4,7 @@
 
 namespace lmk {
 
-Id lph_hash(const IndexPoint& point, const Boundary& boundary) {
+Id lph_hash(std::span<const double> point, const Boundary& boundary) {
   std::size_t k = boundary.size();
   LMK_CHECK(point.size() == k);
   LMK_CHECK(k >= 1);

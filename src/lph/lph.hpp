@@ -11,6 +11,7 @@
 // mapping turns into placement on the same or neighbouring nodes.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "common/bits.hpp"
@@ -36,8 +37,17 @@ struct Prefix {
 /// `point`. Points are clamped to the boundary first (the mapper already
 /// clamps, but queries may construct off-boundary points). Points
 /// exactly on a split plane fall in the *lower* half (the algorithm
-/// tests `point[j] > mid`).
-[[nodiscard]] Id lph_hash(const IndexPoint& point, const Boundary& boundary);
+/// tests `point[j] > mid`). Span-based so flat coordinate rows (SoA
+/// stores, streaming loads) hash without materializing an IndexPoint.
+[[nodiscard]] Id lph_hash(std::span<const double> point,
+                          const Boundary& boundary);
+
+/// Braced-list convenience (tests write lph_hash({0.75, 0.25}, b)).
+[[nodiscard]] inline Id lph_hash(std::initializer_list<double> point,
+                                 const Boundary& boundary) {
+  return lph_hash(std::span<const double>(point.begin(), point.size()),
+                  boundary);
+}
 
 /// The prefix (code of the smallest enclosing cuboid) for a query
 /// region: split until the region no longer fits entirely inside one

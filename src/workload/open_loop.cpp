@@ -1,0 +1,39 @@
+#include "workload/open_loop.hpp"
+
+#include "common/check.hpp"
+
+namespace lmk {
+
+std::vector<Arrival> open_loop_schedule(const OpenLoopConfig& cfg) {
+  LMK_CHECK(cfg.arrivals_per_sec > 0.0);
+  LMK_CHECK(cfg.topics > 0);
+  LMK_CHECK(cfg.count > 0);
+  // Two decorrelated streams: arrival clock and topic choice. Forking
+  // keeps the schedule stable if either draw pattern ever changes.
+  Rng root(cfg.seed);
+  Rng clock = root.fork();
+  Rng choice = root.fork();
+  ZipfSampler zipf(cfg.topics, cfg.zipf_s);
+  const double mean_gap = 1.0 / cfg.arrivals_per_sec;
+  std::vector<Arrival> out;
+  out.reserve(cfg.count);
+  double t = 0;
+  for (std::uint64_t i = 0; i < cfg.count; ++i) {
+    t += clock.exponential(mean_gap);
+    out.push_back(
+        Arrival{t, static_cast<std::uint32_t>(zipf(choice))});
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> topic_histogram(std::span<const Arrival> arrivals,
+                                           std::size_t topics) {
+  std::vector<std::uint64_t> out(topics, 0);
+  for (const Arrival& a : arrivals) {
+    LMK_CHECK(a.topic < topics);
+    ++out[a.topic];
+  }
+  return out;
+}
+
+}  // namespace lmk

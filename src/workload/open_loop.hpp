@@ -1,0 +1,56 @@
+// Open-loop workload generation for the flagship scenario.
+//
+// The fig benches are closed-loop: a fixed query batch, each arrival
+// scheduled by exponential interarrival but completion-independent
+// only at small scale. A production-shaped load test needs an
+// *open-loop* stream — arrivals fire on their own clock regardless of
+// how far behind the system is, so queue depth and tail latency are
+// observable instead of being hidden by back-pressure.
+//
+// The stream models skewed interest: arrivals are Poisson in time
+// (exponential interarrivals at a configured rate) and each arrival
+// targets a *topic* drawn from a Zipf distribution — NearBucket-LSH-
+// style query popularity where a few topics absorb most traffic. The
+// flagship bench maps topics onto the synthetic dataset's clusters, so
+// popular topics hammer the same index region.
+//
+// Generation is sequential from two forked Rng streams and never
+// touches the thread pool: the schedule is byte-identical for any
+// LMK_THREADS and reproducible from the config seed alone.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace lmk {
+
+/// Parameters of one open-loop arrival stream.
+struct OpenLoopConfig {
+  double arrivals_per_sec = 50.0;  ///< Poisson rate λ
+  std::size_t topics = 10;         ///< Zipf support (dataset clusters)
+  double zipf_s = 0.9;             ///< Zipf exponent (0 = uniform-ish)
+  std::uint64_t count = 10000;     ///< arrivals to generate
+  std::uint64_t seed = 42;         ///< generation seed
+};
+
+/// One query arrival: absolute time (seconds from stream start) and
+/// the Zipf-popular topic it targets.
+struct Arrival {
+  double at_sec = 0;
+  std::uint32_t topic = 0;
+
+  bool operator==(const Arrival&) const = default;
+};
+
+/// Generate the full arrival schedule, sorted by time by construction.
+[[nodiscard]] std::vector<Arrival> open_loop_schedule(
+    const OpenLoopConfig& cfg);
+
+/// Arrivals per topic (tests assert the Zipf head dominates).
+[[nodiscard]] std::vector<std::uint64_t> topic_histogram(
+    std::span<const Arrival> arrivals, std::size_t topics);
+
+}  // namespace lmk

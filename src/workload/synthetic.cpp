@@ -59,6 +59,67 @@ std::vector<DenseVector> generate_queries(const SyntheticConfig& cfg,
   return out;
 }
 
+SyntheticStream::SyntheticStream(const SyntheticConfig& cfg,
+                                 std::uint64_t seed)
+    : cfg_(cfg), seed_(seed) {
+  LMK_CHECK(cfg_.objects > 0);
+  LMK_CHECK(cfg_.dims > 0);
+  LMK_CHECK(cfg_.clusters > 0);
+  LMK_CHECK(cfg_.range_hi > cfg_.range_lo);
+  // Only the centres are materialized; everything else is a function
+  // of (seed, index).
+  Rng rng(mix64(seed_ ^ 0x636c7573746572ull));  // centre stream
+  centers_.reserve(cfg_.clusters);
+  for (std::size_t c = 0; c < cfg_.clusters; ++c) {
+    DenseVector center(cfg_.dims);
+    for (std::size_t d = 0; d < cfg_.dims; ++d) {
+      center[d] = rng.uniform(cfg_.range_lo, cfg_.range_hi);
+    }
+    centers_.push_back(std::move(center));
+  }
+}
+
+Rng SyntheticStream::rng_for(std::uint64_t i) const {
+  return Rng(mix64(seed_ ^ (i + 1) * 0x9e3779b97f4a7c15ull));
+}
+
+std::uint32_t SyntheticStream::cluster_of(std::uint64_t i) const {
+  Rng rng = rng_for(i);
+  return static_cast<std::uint32_t>(rng.below(cfg_.clusters));
+}
+
+void SyntheticStream::point_into(std::uint64_t i, std::span<double> out) const {
+  LMK_CHECK(i < cfg_.objects);
+  LMK_CHECK(out.size() == cfg_.dims);
+  Rng rng = rng_for(i);
+  const DenseVector& center = centers_[rng.below(cfg_.clusters)];
+  for (std::size_t d = 0; d < cfg_.dims; ++d) {
+    double v = center[d] + rng.normal(0.0, cfg_.deviation);
+    out[d] = std::clamp(v, cfg_.range_lo, cfg_.range_hi);
+  }
+}
+
+DenseVector SyntheticStream::point(std::uint64_t i) const {
+  DenseVector out(cfg_.dims);
+  point_into(i, out);
+  return out;
+}
+
+DenseVector SyntheticStream::query_near(std::uint32_t topic,
+                                        std::uint64_t salt) const {
+  // Queries draw from their own stream keyed by (topic, salt) so the
+  // same topic can be queried many times with distinct foci.
+  Rng rng(mix64(seed_ ^ 0x7175657279ull ^
+                mix64(topic * 0x100000001b3ull + salt)));
+  const DenseVector& center = centers_[topic % cfg_.clusters];
+  DenseVector out(cfg_.dims);
+  for (std::size_t d = 0; d < cfg_.dims; ++d) {
+    double v = center[d] + rng.normal(0.0, cfg_.deviation);
+    out[d] = std::clamp(v, cfg_.range_lo, cfg_.range_hi);
+  }
+  return out;
+}
+
 double max_theoretical_distance(const SyntheticConfig& cfg) {
   double edge = cfg.range_hi - cfg.range_lo;
   return std::sqrt(static_cast<double>(cfg.dims) * edge * edge);

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -43,6 +44,52 @@ struct SyntheticDataset {
 [[nodiscard]] std::vector<DenseVector> generate_queries(
     const SyntheticConfig& cfg, const SyntheticDataset& dataset,
     std::size_t count, Rng& rng);
+
+/// Random-access view of a clustered synthetic dataset that is never
+/// materialized: point i is regenerated on demand from (seed, i), so a
+/// 1M+ object corpus is a function, not 800 MB of vectors. Streaming
+/// index construction walks it in batches, and the sampled
+/// ground-truth oracle re-walks it independently — both see the exact
+/// same objects. Per-point generation derives a private Rng from the
+/// point's index, so any access order (or thread count) yields
+/// identical data.
+///
+/// The cluster structure matches generate_clustered (uniform centres,
+/// Gaussian points clamped to the range); the draw *sequence* differs,
+/// so streams are their own datasets, not a replay of the batch
+/// generator.
+class SyntheticStream {
+ public:
+  SyntheticStream(const SyntheticConfig& cfg, std::uint64_t seed);
+
+  [[nodiscard]] std::uint64_t size() const { return cfg_.objects; }
+  [[nodiscard]] std::size_t dims() const { return cfg_.dims; }
+  [[nodiscard]] const SyntheticConfig& config() const { return cfg_; }
+  [[nodiscard]] const std::vector<DenseVector>& centers() const {
+    return centers_;
+  }
+
+  /// Cluster of object i (the topic the open-loop workload targets).
+  [[nodiscard]] std::uint32_t cluster_of(std::uint64_t i) const;
+
+  /// Regenerate object i into caller storage (no allocation).
+  void point_into(std::uint64_t i, std::span<double> out) const;
+
+  /// Regenerate object i as an owning vector.
+  [[nodiscard]] DenseVector point(std::uint64_t i) const;
+
+  /// A query point near `topic`'s cluster centre; `salt` decorrelates
+  /// successive queries against the same topic.
+  [[nodiscard]] DenseVector query_near(std::uint32_t topic,
+                                       std::uint64_t salt) const;
+
+ private:
+  [[nodiscard]] Rng rng_for(std::uint64_t i) const;
+
+  SyntheticConfig cfg_;
+  std::uint64_t seed_;
+  std::vector<DenseVector> centers_;
+};
 
 /// The paper's theoretical maximum distance for a config:
 /// sqrt(dims * (hi - lo)^2) — 1000 for the Table 1 values. Query range

@@ -201,7 +201,8 @@ TEST(AuditorMutation, CorruptedPlacementKeyIsDetected) {
   audit::Auditor auditor = s.make_auditor();
   auto nodes = audit::alive_by_id(*s.ring);
   ChordNode* holder = nodes[s.loaded_node_index()];
-  s.platform->mutable_store(*holder, s.scheme).front().key += 1;
+  auto& corrupted = s.platform->mutable_store(*holder, s.scheme);
+  corrupted.set_key(0, corrupted.key(0) + 1);
 
   AuditReport report = auditor.run_once();
   const Violation* v = find_violation(report, "partition/entry-key");
@@ -218,7 +219,7 @@ TEST(AuditorMutation, DroppedEntryIsReportedAsLost) {
   ChordNode* holder = nodes[s.loaded_node_index()];
   auto& store = s.platform->mutable_store(*holder, s.scheme);
   std::uint64_t dropped = store.front().object;
-  store.erase(store.begin());
+  store.erase_at(0);
 
   AuditReport report = auditor.run_once();
   const Violation* v = find_violation(report, "conservation/lost");
@@ -254,7 +255,7 @@ TEST(AuditorMutation, HoardedEntriesMakeSampledQueriesIncomplete) {
   auto& hoard = s.platform->mutable_store(*hoarder, s.scheme);
   for (std::size_t i = 1; i < nodes.size(); ++i) {
     auto& store = s.platform->mutable_store(*nodes[i], s.scheme);
-    hoard.insert(hoard.end(), store.begin(), store.end());
+    hoard.append(store);
     store.clear();
   }
 

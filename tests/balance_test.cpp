@@ -217,7 +217,7 @@ TEST(Migration, MedianKeySplitsEntriesInHalf) {
     ASSERT_TRUE(in_open(split, n->predecessor().id, n->id()))
         << "split key outside the node's range";
     std::size_t below = 0;
-    for (const IndexEntry& e : s.platform->store(*n, scheme)) {
+    for (EntryView e : s.platform->store(*n, scheme)) {
       if (in_open_closed(e.key, n->predecessor().id, split)) ++below;
     }
     EXPECT_NEAR(static_cast<double>(below), static_cast<double>(load) / 2,

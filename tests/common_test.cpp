@@ -280,6 +280,72 @@ TEST(Stats, GiniEmptyAndZeroSafe) {
   EXPECT_EQ(gini({0, 0}), 0.0);
 }
 
+TEST(Stats, PercentileNthMatchesSortingPercentile) {
+  Rng rng(91);
+  std::vector<double> v;
+  for (int i = 0; i < 5000; ++i) v.push_back(rng.uniform(0, 1000));
+  for (double p : {0.0, 12.5, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    double expect = percentile(v, p);  // copies + fully sorts
+    std::vector<double> scratch = v;
+    EXPECT_DOUBLE_EQ(percentile_nth(scratch, p), expect) << "p=" << p;
+  }
+}
+
+TEST(Stats, PercentileNthRepeatedCallsOnSameVector) {
+  // The flagship bench extracts p50/p90/p99/p999 from one sample vector
+  // with consecutive nth_element calls; earlier partial orderings must
+  // not change later answers.
+  Rng rng(92);
+  std::vector<double> v;
+  for (int i = 0; i < 3000; ++i) v.push_back(rng.uniform(-5, 5));
+  std::vector<double> copy = v;
+  double p50 = percentile_nth(copy, 50);
+  double p99 = percentile_nth(copy, 99);
+  double p01 = percentile_nth(copy, 1);
+  EXPECT_DOUBLE_EQ(p50, percentile(v, 50));
+  EXPECT_DOUBLE_EQ(p99, percentile(v, 99));
+  EXPECT_DOUBLE_EQ(p01, percentile(v, 1));
+}
+
+TEST(Stats, P2QuantileExactBelowFiveObservations) {
+  P2Quantile q(0.5);
+  q.add(3);
+  q.add(1);
+  EXPECT_DOUBLE_EQ(q.value(), 2.0);
+  q.add(2);
+  q.add(10);
+  EXPECT_DOUBLE_EQ(q.value(), percentile({3, 1, 2, 10}, 50));
+}
+
+TEST(Stats, P2QuantileTracksExactPercentileWithinTolerance) {
+  // Exact-vs-streaming agreement on a heavy-ish tailed stream: the P²
+  // estimate must land within a few percent of the exact sample
+  // quantile (relative to the distribution's scale) while using O(1)
+  // memory.
+  Rng rng(93);
+  for (double quant : {0.5, 0.9, 0.99}) {
+    P2Quantile est(quant);
+    std::vector<double> all;
+    for (int i = 0; i < 20000; ++i) {
+      // Lognormal-shaped: exp of a normal — a long right tail like
+      // latency data.
+      double x = std::exp(rng.normal(0.0, 0.5));
+      est.add(x);
+      all.push_back(x);
+    }
+    double exact = percentile_nth(all, quant * 100.0);
+    EXPECT_EQ(est.count(), 20000u);
+    EXPECT_NEAR(est.value(), exact, 0.05 * exact + 0.01)
+        << "quantile " << quant;
+  }
+}
+
+TEST(Stats, P2QuantileMonotoneStreamConverges) {
+  P2Quantile q(0.9);
+  for (int i = 1; i <= 1000; ++i) q.add(i);
+  EXPECT_NEAR(q.value(), 900.0, 20.0);
+}
+
 // ----- table printing -----
 
 TEST(Table, AlignsColumns) {

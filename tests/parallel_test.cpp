@@ -314,7 +314,7 @@ TEST(ParallelDeterminism, BulkInsertMatchesSequentialInsert) {
     std::vector<std::pair<Id, std::vector<std::pair<Id, std::uint64_t>>>> out;
     for (const ChordNode* n : ring->alive_nodes()) {
       std::vector<std::pair<Id, std::uint64_t>> entries;
-      for (const IndexEntry& e : platform->store(*n, sc)) {
+      for (EntryView e : platform->store(*n, sc)) {
         entries.emplace_back(e.key, e.object);
       }
       out.emplace_back(n->id(), std::move(entries));

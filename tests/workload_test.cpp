@@ -5,8 +5,10 @@
 #include <algorithm>
 #include <set>
 
+#include "common/parallel.hpp"
 #include "common/stats.hpp"
 #include "workload/corpus.hpp"
+#include "workload/open_loop.hpp"
 #include "workload/synthetic.hpp"
 
 namespace lmk {
@@ -253,6 +255,163 @@ TEST(Corpus, DeterministicForSeed) {
   for (std::size_t i = 0; i < ca.documents().size(); ++i) {
     ASSERT_EQ(ca.documents()[i].term_count(),
               cb.documents()[i].term_count());
+  }
+}
+
+// ----- synthetic stream (the never-materialized flagship corpus) -----
+
+TEST(SyntheticStream, PointsAreDeterministicAndOrderIndependent) {
+  SyntheticConfig cfg;
+  cfg.objects = 400;
+  cfg.dims = 12;
+  SyntheticStream sa(cfg, 5), sb(cfg, 5);
+  // Walk one stream forward and the other backward: per-point RNG
+  // derivation makes access order irrelevant.
+  std::vector<DenseVector> reverse(cfg.objects);
+  for (std::uint64_t i = cfg.objects; i-- > 0;) {
+    reverse[i] = sb.point(i);
+  }
+  for (std::uint64_t i = 0; i < cfg.objects; ++i) {
+    EXPECT_EQ(sa.point(i), reverse[i]);
+  }
+  SyntheticStream sc(cfg, 6);
+  EXPECT_NE(sa.point(0), sc.point(0));  // seed matters
+}
+
+TEST(SyntheticStream, PointIntoMatchesPointAndRespectsRange) {
+  SyntheticConfig cfg;
+  cfg.objects = 100;
+  cfg.dims = 9;
+  SyntheticStream s(cfg, 11);
+  DenseVector buf(cfg.dims);
+  for (std::uint64_t i = 0; i < cfg.objects; ++i) {
+    s.point_into(i, buf);
+    EXPECT_EQ(buf, s.point(i));
+    for (double v : buf) {
+      EXPECT_GE(v, cfg.range_lo);
+      EXPECT_LE(v, cfg.range_hi);
+    }
+  }
+}
+
+TEST(SyntheticStream, PointsClusterAroundDeclaredCenters) {
+  SyntheticConfig cfg;
+  cfg.objects = 2000;
+  cfg.dims = 30;
+  cfg.clusters = 4;
+  cfg.deviation = 5;
+  SyntheticStream s(cfg, 13);
+  L2Space l2;
+  int misassigned = 0;
+  for (std::uint64_t i = 0; i < cfg.objects; ++i) {
+    DenseVector p = s.point(i);
+    double own = l2.distance(p, s.centers()[s.cluster_of(i)]);
+    for (std::size_t c = 0; c < s.centers().size(); ++c) {
+      if (c == s.cluster_of(i)) continue;
+      if (l2.distance(p, s.centers()[c]) < own) {
+        ++misassigned;
+        break;
+      }
+    }
+  }
+  EXPECT_LT(misassigned, 40);  // < 2%, as for the batch generator
+}
+
+TEST(SyntheticStream, QueryNearTargetsItsTopicCluster) {
+  SyntheticConfig cfg;
+  cfg.objects = 100;
+  cfg.dims = 20;
+  cfg.clusters = 5;
+  cfg.deviation = 4;
+  SyntheticStream s(cfg, 17);
+  L2Space l2;
+  for (std::uint32_t topic = 0; topic < 5; ++topic) {
+    DenseVector q = s.query_near(topic, /*salt=*/topic * 31);
+    double own = l2.distance(q, s.centers()[topic]);
+    for (std::size_t c = 0; c < s.centers().size(); ++c) {
+      if (c == topic) continue;
+      EXPECT_LT(own, l2.distance(q, s.centers()[c]));
+    }
+  }
+  // Distinct salts give distinct foci for the same topic.
+  EXPECT_NE(s.query_near(0, 1), s.query_near(0, 2));
+}
+
+// ----- open-loop arrival stream -----
+
+TEST(OpenLoop, ReproducibleFromConfigSeed) {
+  OpenLoopConfig cfg;
+  cfg.count = 5000;
+  cfg.seed = 33;
+  auto a = open_loop_schedule(cfg);
+  auto b = open_loop_schedule(cfg);
+  EXPECT_EQ(a, b);
+  cfg.seed = 34;
+  EXPECT_NE(open_loop_schedule(cfg), a);
+}
+
+TEST(OpenLoop, ByteIdenticalAcrossThreadCounts) {
+  // The schedule is generated sequentially by contract: LMK_THREADS
+  // must not be able to change a single arrival.
+  OpenLoopConfig cfg;
+  cfg.count = 20000;
+  cfg.seed = 42;
+  set_threads(1);
+  auto t1 = open_loop_schedule(cfg);
+  set_threads(8);
+  auto t8 = open_loop_schedule(cfg);
+  set_threads(0);
+  ASSERT_EQ(t1.size(), t8.size());
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    // Bitwise, not approximate: the determinism contract is on bytes.
+    EXPECT_EQ(t1[i].at_sec, t8[i].at_sec);
+    EXPECT_EQ(t1[i].topic, t8[i].topic);
+  }
+}
+
+TEST(OpenLoop, ArrivalsAreSortedWithPoissonRate) {
+  OpenLoopConfig cfg;
+  cfg.arrivals_per_sec = 25.0;
+  cfg.count = 50000;
+  cfg.seed = 9;
+  auto sched = open_loop_schedule(cfg);
+  ASSERT_EQ(sched.size(), cfg.count);
+  for (std::size_t i = 1; i < sched.size(); ++i) {
+    EXPECT_GE(sched[i].at_sec, sched[i - 1].at_sec);
+  }
+  // Mean interarrival 1/λ: the stream's span is count/λ ± a few %.
+  double span = sched.back().at_sec;
+  double expect = static_cast<double>(cfg.count) / cfg.arrivals_per_sec;
+  EXPECT_NEAR(span, expect, 0.05 * expect);
+}
+
+TEST(OpenLoop, ZipfHeadDominatesTopicHistogram) {
+  OpenLoopConfig cfg;
+  cfg.topics = 10;
+  cfg.zipf_s = 0.9;
+  cfg.count = 30000;
+  cfg.seed = 12;
+  auto sched = open_loop_schedule(cfg);
+  auto hist = topic_histogram(sched, cfg.topics);
+  ASSERT_EQ(hist.size(), cfg.topics);
+  std::uint64_t total = 0;
+  for (auto c : hist) total += c;
+  EXPECT_EQ(total, cfg.count);
+  // Zipf(0.9) over 10 topics: topic 0 holds ~25% of the mass and every
+  // rank beats the next one in expectation.
+  EXPECT_GT(hist[0], hist[9] * 3);
+  EXPECT_GT(static_cast<double>(hist[0]), 0.15 * static_cast<double>(total));
+  std::uint64_t head3 = hist[0] + hist[1] + hist[2];
+  EXPECT_GT(static_cast<double>(head3), 0.45 * static_cast<double>(total));
+}
+
+TEST(OpenLoop, TopicsStayInRange) {
+  OpenLoopConfig cfg;
+  cfg.topics = 7;
+  cfg.count = 2000;
+  for (const Arrival& a : open_loop_schedule(cfg)) {
+    EXPECT_LT(a.topic, cfg.topics);
+    EXPECT_GE(a.at_sec, 0.0);
   }
 }
 
