@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "common/alloc_guard.hpp"
 #include "common/arena.hpp"
 #include "common/stats.hpp"
 #include "workload/open_loop.hpp"
@@ -165,7 +166,9 @@ int run() {
   // into arena scratch and bulk-inserted; resident memory is one batch
   // plus the (SoA) stores, never the corpus.
   Arena scratch;
+  AllocCounters build_alloc;
   double t_build = time_s([&] {
+    AllocPhaseScope phase("stream-build");
     index.stream_load(
         s.objects,
         [&](std::uint64_t i, DenseVector& out) {
@@ -173,6 +176,7 @@ int run() {
           stream.point_into(i, out);
         },
         scratch);
+    build_alloc = phase.delta();
   });
   LMK_CHECK(platform.scheme_entries(index.scheme_id()) == s.objects);
   ArenaStats build_arena = scratch.stats();
@@ -303,7 +307,12 @@ int run() {
   });
 
   std::uint64_t ev0 = sim.events_executed();
-  double t_query = time_s([&] { sim.run(); });
+  AllocCounters query_alloc;
+  double t_query = time_s([&] {
+    AllocPhaseScope phase("open-loop-queries");
+    sim.run();
+    query_alloc = phase.delta();
+  });
   std::uint64_t sim_events = sim.events_executed() - ev0;
   sim.set_audit(0, nullptr);
   LMK_CHECK(lat_ms.size() == schedule.size());
@@ -435,6 +444,16 @@ int run() {
       "\"zipf_s\": %.3f, \"range_factor\": %.3f, \"sample\": %zu, "
       "\"recall_sample\": %zu, \"seed\": %llu},\n"
       "  \"deterministic\": %s,\n"
+      // Allocation counters depend on the allocator and guard build, so
+      // they live outside the deterministic section (which must stay
+      // byte-identical across LMK_THREADS).
+      "  \"alloc\": {\n"
+      "    \"guard_enabled\": %s,\n"
+      "    \"stream_build\": {\"allocs\": %llu, \"frees\": %llu, "
+      "\"alloc_bytes\": %llu, \"free_bytes\": %llu},\n"
+      "    \"open_loop_queries\": {\"allocs\": %llu, \"frees\": %llu, "
+      "\"alloc_bytes\": %llu, \"free_bytes\": %llu}\n"
+      "  },\n"
       "  \"wallclock\": {\n"
       "    \"select_seconds\": %.6f,\n"
       "    \"topology_seconds\": %.6f,\n"
@@ -450,7 +469,17 @@ int run() {
       s.landmarks, static_cast<unsigned long long>(s.arrivals), s.rate,
       s.zipf_s, s.range_factor, s.sample,
       std::min<std::size_t>(s.recall_sample, schedule.size()),
-      static_cast<unsigned long long>(s.seed), det, t_select, t_topology,
+      static_cast<unsigned long long>(s.seed), det,
+      alloc_guard_enabled() ? "true" : "false",
+      static_cast<unsigned long long>(build_alloc.allocs),
+      static_cast<unsigned long long>(build_alloc.frees),
+      static_cast<unsigned long long>(build_alloc.alloc_bytes),
+      static_cast<unsigned long long>(build_alloc.free_bytes),
+      static_cast<unsigned long long>(query_alloc.allocs),
+      static_cast<unsigned long long>(query_alloc.frees),
+      static_cast<unsigned long long>(query_alloc.alloc_bytes),
+      static_cast<unsigned long long>(query_alloc.free_bytes),
+      t_select, t_topology,
       t_build, t_build > 0 ? static_cast<double>(s.objects) / t_build : 0.0,
       t_query,
       t_query > 0 ? static_cast<double>(sim_events) / t_query : 0.0,

@@ -28,6 +28,7 @@
 #include <thread>
 
 #include "bench_common.hpp"
+#include "common/alloc_guard.hpp"
 #include "common/parallel.hpp"
 #include "core/index_platform.hpp"
 #include "eval/experiment.hpp"
@@ -229,13 +230,39 @@ int run() {
   LMK_CHECK(kmeans1 == kmeansN);
 
   // Online phase 1: event-engine dispatch storm (no protocol work).
+  // Under LMK_ALLOC_GUARD the storm splits into a warmup quarter (the
+  // bucket/heap/closure pools reach their high-water capacity — the
+  // allocations here are the expected one-time warmup) and the steady
+  // state, whose allocation delta the bench_diff gate requires to be
+  // exactly zero.
   OnlineNumbers online;
   online.engine_events =
       env_size("LMK_ONLINE_EVENTS", full_scale() ? 16000000 : 4000000);
+  AllocCounters engine_warmup;
+  AllocCounters engine_steady;
   {
     DispatchStorm storm(online.engine_events, /*chains=*/4096);
-    online.engine_s = time_s([&] { storm.sim.run(); });
+    online.engine_s = time_s([&] {
+      {
+        AllocPhaseScope phase("engine-warmup");
+        storm.sim.run(online.engine_events / 4);
+        engine_warmup = phase.delta();
+      }
+      {
+        AllocPhaseScope phase("engine-steady-state");
+        storm.sim.run();
+        engine_steady = phase.delta();
+      }
+    });
     LMK_CHECK(storm.remaining == 0);
+  }
+  if (alloc_guard_enabled()) {
+    std::printf("alloc guard: engine warmup %llu allocs / %llu bytes, "
+                "steady state %llu allocs / %llu frees\n",
+                static_cast<unsigned long long>(engine_warmup.allocs),
+                static_cast<unsigned long long>(engine_warmup.alloc_bytes),
+                static_cast<unsigned long long>(engine_steady.allocs),
+                static_cast<unsigned long long>(engine_steady.frees));
   }
 
   // Online phase 2: the simulated query batch, single-threaded by
@@ -467,6 +494,27 @@ int run() {
                sweep.cps1(), sweep.cpsN(), sweep.speedup(),
                sweep.peak_resident, sweep.resident_cap,
                std::thread::hardware_concurrency());
+  // Per-phase allocation deltas (all-zero unless built with
+  // -DLMK_ALLOC_GUARD=ON; "guard_enabled" tells bench_diff.py whether
+  // the zero-steady-state-allocation gate is meaningful).
+  std::fprintf(f,
+               ",\n  \"alloc\": {\n"
+               "    \"guard_enabled\": %s,\n"
+               "    \"engine_warmup\": {\"allocs\": %llu, \"frees\": %llu, "
+               "\"alloc_bytes\": %llu, \"free_bytes\": %llu},\n"
+               "    \"engine_steady_state\": {\"allocs\": %llu, "
+               "\"frees\": %llu, \"alloc_bytes\": %llu, "
+               "\"free_bytes\": %llu}\n"
+               "  }",
+               alloc_guard_enabled() ? "true" : "false",
+               static_cast<unsigned long long>(engine_warmup.allocs),
+               static_cast<unsigned long long>(engine_warmup.frees),
+               static_cast<unsigned long long>(engine_warmup.alloc_bytes),
+               static_cast<unsigned long long>(engine_warmup.free_bytes),
+               static_cast<unsigned long long>(engine_steady.allocs),
+               static_cast<unsigned long long>(engine_steady.frees),
+               static_cast<unsigned long long>(engine_steady.alloc_bytes),
+               static_cast<unsigned long long>(engine_steady.free_bytes));
   if (!baseline_online.empty()) {
     std::fprintf(f, ",\n  \"online_baseline\": %s",
                  baseline_online.c_str());

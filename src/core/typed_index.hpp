@@ -87,7 +87,11 @@ class LandmarkIndex {
       const std::size_t n =
           static_cast<std::size_t>(std::min<std::uint64_t>(batch, count - at));
       scratch.reset();
-      std::span<double> coords = scratch.allocate_span<double>(n * dims);
+      // Epoch-checked handle: if a future edit hoists this span out of
+      // the batch loop (across the reset() above), every access traps
+      // under LMK_ARENA_GUARD instead of silently reading recycled
+      // bytes.
+      ArenaSpan<double> coords = scratch.guarded_span<double>(n * dims);
       // Materialize the batch's domain points (object regeneration may
       // be stateful per point but is index-addressed, so parallel
       // production is deterministic), then map them into the flat
@@ -96,7 +100,8 @@ class LandmarkIndex {
         make_point(at + i, staged[i]);
         mapper_.map_into(staged[i], coords.subspan(i * dims, dims));
       });
-      platform_->bulk_insert_flat(scheme_, coords, dims, first_object + at);
+      platform_->bulk_insert_flat(scheme_, coords.raw(), dims,
+                                  first_object + at);
     }
   }
 

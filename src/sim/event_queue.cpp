@@ -23,6 +23,9 @@ std::uint64_t mix(SimTime at) {
 
 void EventQueue::push(SimTime at, EventFn fn, std::uint64_t actor) {
   std::uint32_t b = find_or_create_bucket(at);
+  // Bucket slots keep their capacity across incarnations (clear(), not
+  // shrink), so growth stops at the high-water events-per-instant mark.
+  // lmk-lint: allow(hot-alloc) capacity warmup, amortizes to zero
   buckets_[b].events.push_back(Slot{actor, std::move(fn)});
   ++size_;
 }
@@ -122,11 +125,21 @@ std::uint32_t EventQueue::find_or_create_bucket(SimTime at) {
     free_.pop_back();
   } else {
     b = static_cast<std::uint32_t>(buckets_.size());
+    // Drained buckets recycle through free_, so the pool stops growing
+    // at the high-water count of distinct pending instants.
+    // lmk-lint: allow(hot-alloc) bucket-pool warmup, amortizes to zero
     buckets_.emplace_back();
+    // At most one free-list entry can exist per pool slot, so sizing
+    // free_ with the pool here keeps the push_back in
+    // release_min_bucket() from ever reallocating: a late high-water of
+    // simultaneously drained buckets must not allocate in steady state.
+    // lmk-lint: allow(hot-alloc) grows only with the pool, amortizes to zero
+    free_.reserve(buckets_.capacity());
   }
   buckets_[b].at = at;
   table_[i] = TableEntry{at, b};
   ++table_live_;
+  // lmk-lint: allow(hot-alloc) heap capacity warmup, amortizes to zero
   heap_.push_back(HeapItem{at, b});
   sift_up(heap_.size() - 1);
   if (table_live_ * 10 >= table_.size() * 7) table_grow();
@@ -138,6 +151,7 @@ void EventQueue::release_min_bucket() {
   table_erase(b.at);
   b.events.clear();  // keeps capacity for the bucket's next incarnation
   b.head = 0;
+  // lmk-lint: allow(hot-alloc) free-list capacity warmup, amortizes to zero
   free_.push_back(heap_.front().bucket);
   HeapItem last = heap_.back();
   heap_.pop_back();
@@ -191,6 +205,9 @@ void EventQueue::note_pop(SimTime at, std::uint64_t actor) {
     group_at_ = at;
   }
   if (actor == kNoActor) return;
+  // Cleared (not shrunk) per tie group, so capacity stops at the
+  // largest same-instant group.
+  // lmk-lint: allow(hot-alloc) tie-group capacity warmup
   group_actors_.push_back(actor);
 }
 

@@ -19,7 +19,9 @@
 
 namespace lmk {
 
-/// Passive observer invoked with the current virtual time.
+/// Passive observer invoked with the current virtual time. Installed
+/// once per run (set_audit), never constructed per event.
+/// lmk-lint: allow(hot-std-function) install-time only, not per-event
 using AuditHook = std::function<void(SimTime)>;
 
 /// Virtual-time event loop.

@@ -443,5 +443,203 @@ TEST(CollectVars, FindsLocalsMembersAndInitializers) {
   EXPECT_EQ(std::find(vars.begin(), vars.end(), "Alias"), vars.end());
 }
 
+// ----- hot-alloc -----
+
+TEST(HotAlloc, FlagsNewInsideMarkedRegion) {
+  auto fs = lint_source("a.cpp",
+                        "// lmk-hot-path\n"
+                        "void f() { int* p = new int(3); use(p); }\n"
+                        "// lmk-hot-path-end\n");
+  EXPECT_TRUE(has_rule(fs, "hot-alloc"));
+}
+
+TEST(HotAlloc, OutsideRegionIsFine) {
+  auto fs =
+      lint_source("a.cpp", "void f() { int* p = new int(3); use(p); }\n");
+  EXPECT_FALSE(has_rule(fs, "hot-alloc"));
+}
+
+TEST(HotAlloc, PlacementNewAndIncludeAreExempt) {
+  auto fs = lint_source("a.cpp",
+                        "// lmk-hot-path\n"
+                        "#include <new>\n"
+                        "void f() { ::new (buf) D(std::move(v)); }\n"
+                        "// lmk-hot-path-end\n");
+  EXPECT_FALSE(has_rule(fs, "hot-alloc"));
+}
+
+TEST(HotAlloc, FlagsMakeUniqueAndStringConstruction) {
+  auto fs = lint_source("a.cpp",
+                        "// lmk-hot-path\n"
+                        "void f() {\n"
+                        "  auto p = std::make_unique<int>(3);\n"
+                        "  std::string s = name();\n"
+                        "}\n"
+                        "// lmk-hot-path-end\n");
+  auto rules = rules_of(fs);
+  EXPECT_EQ(std::count(rules.begin(), rules.end(), "hot-alloc"), 2);
+}
+
+TEST(HotAlloc, StringViewAndReferencesAreFine) {
+  auto fs = lint_source("a.cpp",
+                        "// lmk-hot-path\n"
+                        "void f(std::string_view name,\n"
+                        "       const std::string& ref);\n"
+                        "// lmk-hot-path-end\n");
+  EXPECT_FALSE(has_rule(fs, "hot-alloc"));
+}
+
+TEST(HotAlloc, UnreservedGrowthFlaggedReservedGrowthFine) {
+  auto fs = lint_source("a.cpp",
+                        "// lmk-hot-path\n"
+                        "void f() { xs.push_back(1); }\n"
+                        "// lmk-hot-path-end\n");
+  EXPECT_TRUE(has_rule(fs, "hot-alloc"));
+  auto ok = lint_source("a.cpp",
+                        "void setup() { xs.reserve(100); }\n"
+                        "// lmk-hot-path\n"
+                        "void f() { xs.push_back(1); }\n"
+                        "// lmk-hot-path-end\n");
+  EXPECT_FALSE(has_rule(ok, "hot-alloc"));
+}
+
+TEST(HotAlloc, CompanionHeaderReserveIsSeen) {
+  FileOptions opts;
+  opts.companion_decls = "void init() { xs.reserve(64); }\n";
+  auto fs = lint_source("a.cpp",
+                        "// lmk-hot-path\n"
+                        "void f() { xs.push_back(1); }\n"
+                        "// lmk-hot-path-end\n",
+                        opts);
+  EXPECT_FALSE(has_rule(fs, "hot-alloc"));
+}
+
+TEST(HotAlloc, CuratedHotFileNeedsNoMarkers) {
+  FileOptions opts;
+  opts.hot_path = true;
+  auto fs = lint_source(
+      "a.cpp", "void f() { int* p = new int(3); use(p); }\n", opts);
+  EXPECT_TRUE(has_rule(fs, "hot-alloc"));
+}
+
+TEST(HotAlloc, AllowCommentSuppresses) {
+  auto fs = lint_source("a.cpp",
+                        "// lmk-hot-path\n"
+                        "void f() {\n"
+                        "  // lmk-lint: allow(hot-alloc) capacity warmup\n"
+                        "  xs.push_back(1);\n"
+                        "}\n"
+                        "// lmk-hot-path-end\n");
+  EXPECT_FALSE(has_rule(fs, "hot-alloc"));
+}
+
+// ----- hot-std-function -----
+
+TEST(HotStdFunction, FlagsConstructionInHotRegion) {
+  auto fs = lint_source("a.cpp",
+                        "// lmk-hot-path\n"
+                        "void f() { std::function<void()> cb = g(); }\n"
+                        "// lmk-hot-path-end\n");
+  EXPECT_TRUE(has_rule(fs, "hot-std-function"));
+}
+
+TEST(HotStdFunction, ConstRefParameterIsFine) {
+  auto fs = lint_source("a.cpp",
+                        "// lmk-hot-path\n"
+                        "void run(const std::function<void()>& cb);\n"
+                        "// lmk-hot-path-end\n");
+  EXPECT_FALSE(has_rule(fs, "hot-std-function"));
+}
+
+TEST(HotStdFunction, OutsideRegionIsFine) {
+  auto fs = lint_source(
+      "a.cpp", "void f() { std::function<void()> cb = g(); }\n");
+  EXPECT_FALSE(has_rule(fs, "hot-std-function"));
+}
+
+TEST(HotStdFunction, AllowCommentSuppresses) {
+  auto fs = lint_source(
+      "a.cpp",
+      "// lmk-hot-path\n"
+      "// lmk-lint: allow(hot-std-function) install-time only\n"
+      "using Hook = std::function<void(int)>;\n"
+      "// lmk-hot-path-end\n");
+  EXPECT_FALSE(has_rule(fs, "hot-std-function"));
+}
+
+// ----- arena-escape -----
+
+TEST(ArenaEscape, FlagsReturningArenaMemory) {
+  auto fs = lint_source(
+      "a.cpp",
+      "double* scratch() { return static_cast<double*>(a.allocate(n)); }\n");
+  EXPECT_TRUE(has_rule(fs, "arena-escape"));
+}
+
+TEST(ArenaEscape, FlagsMemberAssignmentOfArenaSpan) {
+  auto fs = lint_source(
+      "a.cpp", "void f() { coords_ = arena.allocate_span<double>(n); }\n");
+  EXPECT_TRUE(has_rule(fs, "arena-escape"));
+  auto gs = lint_source(
+      "a.cpp", "void f() { view_ = arena.guarded_span<double>(n); }\n");
+  EXPECT_TRUE(has_rule(gs, "arena-escape"));
+}
+
+TEST(ArenaEscape, LocalUseIsFine) {
+  auto fs = lint_source(
+      "a.cpp",
+      "void f() { auto s = arena.allocate_span<double>(n); use(s); }\n");
+  EXPECT_FALSE(has_rule(fs, "arena-escape"));
+}
+
+TEST(ArenaEscape, ArenaModuleIsExempt) {
+  FileOptions opts;
+  opts.arena_module = true;
+  auto fs = lint_source(
+      "a.cpp",
+      "double* scratch() { return static_cast<double*>(allocate(n)); }\n",
+      opts);
+  EXPECT_FALSE(has_rule(fs, "arena-escape"));
+}
+
+TEST(ArenaEscape, FlagsStoredEntryViews) {
+  EXPECT_TRUE(has_rule(
+      lint_source("a.cpp", "std::vector<EntryView> views;\n"),
+      "arena-escape"));
+  EXPECT_TRUE(has_rule(
+      lint_source("a.cpp", "class C { EntryView cached_; };\n"),
+      "arena-escape"));
+  EXPECT_FALSE(has_rule(
+      lint_source("a.cpp", "void f() { EntryView v = store[i]; use(v); }\n"),
+      "arena-escape"));
+}
+
+TEST(ArenaEscape, AllowCommentSuppresses) {
+  auto fs = lint_source(
+      "a.cpp",
+      "// lmk-lint: allow(arena-escape) consumed before any mutation\n"
+      "class C { EntryView cached_; };\n");
+  EXPECT_FALSE(has_rule(fs, "arena-escape"));
+}
+
+// ----- --stats plumbing -----
+
+TEST(LintStats, AccumulatesPerRuleTiming) {
+  LintStats stats;
+  auto fs = lint_source("a.cpp", "void f() { g(); }\n", FileOptions{},
+                        &stats);
+  EXPECT_TRUE(fs.empty());
+  ASSERT_FALSE(stats.rule_seconds.empty());
+  // The shared single-pass tokenization is timed first, then each rule
+  // family in run order.
+  EXPECT_EQ(stats.rule_seconds.front().first, "scan-index");
+  bool has_hot_alloc = false;
+  for (const auto& [name, secs] : stats.rule_seconds) {
+    if (name == "hot-alloc") has_hot_alloc = true;
+    EXPECT_GE(secs, 0.0);
+  }
+  EXPECT_TRUE(has_hot_alloc);
+}
+
 }  // namespace
 }  // namespace lmk::lint

@@ -61,19 +61,65 @@
 //                        asserting why the state is benign (per-thread,
 //                        pool plumbing guarded by a mutex, ...).
 //
+// Allocation-discipline rules. The flagship perf contract (DESIGN.md
+// "Allocation discipline") is that the simulation engine's steady state
+// allocates nothing: arenas and recycle pools absorb all churn. These
+// rules police the code paths that contract depends on. They apply
+// only inside *hot-path regions*: whole files placed on the driver's
+// curated list (FileOptions.hot_path — the event engine, EventClosure,
+// the simulator loop), or regions delimited in any file by a
+// `// lmk-hot-path` comment and closed by `// lmk-hot-path-end`
+// (arena-escape applies file-wide; see below).
+//
+//   hot-alloc            Owning heap allocation on a hot path: `new`
+//                        (placement new is exempt), make_unique /
+//                        make_shared, std::string construction, and
+//                        growth calls (push_back / emplace_back /
+//                        emplace) on a receiver with no `.reserve(`
+//                        call anywhere in the file or its companion
+//                        header. Preallocate, use the arena, or justify
+//                        with `// lmk-lint: allow(hot-alloc) <reason>`
+//                        (capacity-warmup growth that amortizes to zero
+//                        is the expected justification).
+//
+//   hot-std-function     std::function constructed on a hot path:
+//                        type-erasure through an owning, possibly
+//                        heap-backed closure per assignment. Reference
+//                        parameters (`const std::function<...>&`) are
+//                        exempt — they do not construct. Use
+//                        EventClosure / a template parameter, or
+//                        justify with
+//                        `// lmk-lint: allow(hot-std-function)`.
+//
+//   arena-escape         Arena-allocated memory escaping the
+//                        allocating scope (file-wide, not only hot
+//                        regions): `return`ing the result of
+//                        allocate / allocate_span / guarded_span,
+//                        assigning it to a member (`foo_ = ...`), or
+//                        storing an EntryView in a member / container
+//                        element. Arena reset() recycles the bytes and
+//                        EntryStore mutation invalidates views, so an
+//                        escaped handle is a use-after-reset waiting to
+//                        happen. Copy out, or justify with
+//                        `// lmk-lint: allow(arena-escape) <reason>`.
+//
 // Any rule can be suppressed for one line with
 // `// lmk-lint: allow(<rule>) <reason>` — reserved for sites reviewed
 // to be safe; prefer fixing.
 //
 // The analysis is a file-local, comment/string-aware token scan — not a
-// full parser. Known limits (documented, acceptable for a lint that
-// gates CI): type aliases of unordered containers are not traced, and a
-// range expression must be a plain variable (or `var.begin()`) declared
-// in the same file to be recognized.
+// full parser. Each file is scanned once into a token-position index
+// shared by every rule family (see ScanIndex in lint_rules.cpp); rules
+// then walk only their own tokens' positions. Known limits (documented,
+// acceptable for a lint that gates CI): type aliases of unordered
+// containers are not traced, and a range expression must be a plain
+// variable (or `var.begin()`) declared in the same file to be
+// recognized.
 #pragma once
 
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace lmk::lint {
@@ -96,10 +142,27 @@ struct FileOptions {
   /// src/common/check.hpp: the one module allowed to terminate the
   /// process (LMK_CHECK's [[noreturn]] failure paths call std::abort).
   bool check_module = false;
+  /// Whole file is a hot-path region (driver's curated list: the event
+  /// engine, EventClosure, the simulator loop). The allocation rules
+  /// apply everywhere in it, no markers needed.
+  bool hot_path = false;
+  /// src/common/arena.*: defines the allocation entry points the
+  /// arena-escape rule keys on, so it is exempt from that rule.
+  bool arena_module = false;
   /// Companion-header text (X.hpp next to X.cpp): member variables are
   /// declared there, so its unordered-container declarations are folded
-  /// into the iteration analysis of the .cpp.
+  /// into the iteration analysis of the .cpp, and its reserve() calls
+  /// into the hot-alloc growth analysis.
   std::string_view companion_decls;
+};
+
+/// Cumulative per-rule wall time over lint_source calls (--stats).
+struct LintStats {
+  /// (rule name, seconds), in first-seen order; "scan-index" is the
+  /// shared single-pass tokenization every rule family reads from.
+  std::vector<std::pair<std::string, double>> rule_seconds;
+
+  void add(std::string_view rule, double seconds);
 };
 
 /// Replace comments, string literals and char literals with spaces
@@ -113,9 +176,11 @@ struct FileOptions {
     std::string_view stripped);
 
 /// Lint one translation unit / header. `path` is used only for
-/// reporting; `content` is the file text.
+/// reporting; `content` is the file text. When `stats` is non-null,
+/// per-rule wall time is accumulated into it.
 [[nodiscard]] std::vector<Finding> lint_source(std::string_view path,
                                                std::string_view content,
-                                               const FileOptions& opts = {});
+                                               const FileOptions& opts = {},
+                                               LintStats* stats = nullptr);
 
 }  // namespace lmk::lint

@@ -6,6 +6,7 @@
 // Usage:
 //   lmk-lint <dir-or-file>...            # file walk
 //   lmk-lint --compdb build/compile_commands.json [<filter-prefix>...]
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -32,6 +33,15 @@ lmk::lint::FileOptions options_for(const std::string& path) {
   opts.bench = path.find("bench/") != std::string::npos ||
                path.rfind("bench_", 0) == 0;
   opts.check_module = path.find("common/check.hpp") != std::string::npos;
+  // Curated whole-file hot-path list: the event engine loop, closure
+  // dispatch and the simulator drive every event — the allocation rules
+  // apply to every line. Other files opt regions in with
+  // `// lmk-hot-path` markers (e.g. on_solve in index_platform.cpp).
+  for (const char* hot : {"sim/event_queue", "sim/event_closure",
+                          "sim/simulator"}) {
+    if (path.find(hot) != std::string::npos) opts.hot_path = true;
+  }
+  opts.arena_module = path.find("common/arena") != std::string::npos;
   return opts;
 }
 
@@ -68,9 +78,19 @@ std::vector<std::string> compdb_files(const std::string& json) {
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
+  bool want_stats = false;
+  for (auto it = args.begin(); it != args.end();) {
+    if (*it == "--stats") {
+      want_stats = true;
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
   if (args.empty()) {
-    std::cerr << "usage: lmk-lint <dir-or-file>... | "
-                 "lmk-lint --compdb <compile_commands.json> [<prefix>...]\n";
+    std::cerr << "usage: lmk-lint [--stats] <dir-or-file>... | "
+                 "lmk-lint [--stats] --compdb <compile_commands.json> "
+                 "[<prefix>...]\n";
     return 2;
   }
 
@@ -117,6 +137,7 @@ int main(int argc, char** argv) {
 
   std::size_t files_checked = 0;
   std::vector<lmk::lint::Finding> all;
+  lmk::lint::LintStats stats;
   for (const std::string& path : targets) {
     std::string content;
     if (!read_file(path, &content)) {
@@ -137,7 +158,8 @@ int main(int argc, char** argv) {
       }
     }
     opts.companion_decls = companion;
-    auto findings = lmk::lint::lint_source(path, content, opts);
+    auto findings = lmk::lint::lint_source(path, content, opts,
+                                           want_stats ? &stats : nullptr);
     all.insert(all.end(), findings.begin(), findings.end());
   }
 
@@ -147,5 +169,16 @@ int main(int argc, char** argv) {
   }
   std::cout << "lmk-lint: " << files_checked << " files, " << all.size()
             << " finding" << (all.size() == 1 ? "" : "s") << "\n";
+  if (want_stats) {
+    std::cout << "lmk-lint rule timing (cumulative over "
+              << files_checked << " files):\n";
+    for (const auto& [rule, seconds] : stats.rule_seconds) {
+      std::cout << "  " << rule;
+      for (std::size_t pad = rule.size(); pad < 22; ++pad) std::cout << ' ';
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.6fs", seconds);
+      std::cout << buf << "\n";
+    }
+  }
   return all.empty() ? 0 : 1;
 }
