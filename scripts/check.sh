@@ -12,12 +12,13 @@
 #                                       # invariant auditor attached
 #                                       # (src/audit/, fail-fast)
 #   scripts/check.sh --all              # the full gate:
-#                                       #   1. lmk-lint over src/
+#                                       #   1. lmk-lint over src/ tools/ tests/
 #                                       #   2. clang-tidy (scripts/tidy.sh)
 #                                       #   3. plain build (-Werror) + ctest
 #                                       #   4. audit leg (LMK_AUDIT=1 ctest)
 #                                       #   5. ASan, UBSan, TSan builds + ctest
 #                                       #   6. alloc-guard leg (below)
+#                                       #   7. sched smoke (below)
 #   scripts/check.sh --alloc-guard [--warn-only]
 #                                       # allocation-discipline leg: build
 #                                       # with -DLMK_ALLOC_GUARD=ON and
@@ -47,6 +48,14 @@
 #                                       # arena high-water, and bytes on the
 #                                       # wire against the committed
 #                                       # bench/BENCH_flagship.baseline.json
+#   scripts/check.sh --sched-smoke      # schedule & fault exploration gate:
+#                                       # a small lmk-sched seed swarm must
+#                                       # pass on the clean tree, then a
+#                                       # -DLMK_SCHED_MUTATION=ON build must
+#                                       # be caught by the same swarm, ddmin-
+#                                       # shrunk to <= 5 directives, and the
+#                                       # minimized .sched must replay to the
+#                                       # same auditor failure
 #
 # Every build is -Werror for src/ and tools/ (LMK_WERROR=ON). Each
 # sanitizer gets its own build directory (build-check-<san>) so
@@ -80,7 +89,49 @@ run_lint() {
   cmake -B build-check -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DLMK_WERROR=ON >/dev/null
   cmake --build build-check -j"$(nproc)" --target lmk-lint >/dev/null
-  ./build-check/tools/lint/lmk-lint src
+  ./build-check/tools/lint/lmk-lint src tools tests
+}
+
+run_sched_smoke() {
+  echo "== check.sh: sched smoke (schedule & fault exploration gate) =="
+  cmake -B build-check -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DLMK_WERROR=ON >/dev/null
+  cmake --build build-check -j"$(nproc)" --target lmk-sched >/dev/null
+  # Clean tree: every plan in the seed swarm must either keep the
+  # invariants or recover by quiescence.
+  LMK_SCHED_PLANS=6 ./build-check/tools/sched/lmk-sched explore \
+    --out build-check/minimized.sched
+  # Mutation tree: -DLMK_SCHED_MUTATION=ON plants a replication-repair
+  # bug (src/core/index_platform.cpp). The same swarm must catch it,
+  # ddmin must shrink the plan to <= 5 directives, and the minimized
+  # reproducer must replay to the same auditor failure.
+  cmake -B build-check-schedmutation -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DLMK_WERROR=ON -DLMK_SCHED_MUTATION=ON >/dev/null
+  cmake --build build-check-schedmutation -j"$(nproc)" --target lmk-sched \
+    >/dev/null
+  local sched=build-check-schedmutation/minimized.sched
+  if LMK_SCHED_PLANS=6 ./build-check-schedmutation/tools/sched/lmk-sched \
+      explore --out "$sched"; then
+    echo "sched smoke: FAIL — planted mutation survived the seed swarm" >&2
+    return 1
+  fi
+  if [ ! -f "$sched" ]; then
+    echo "sched smoke: FAIL — no minimized reproducer written" >&2
+    return 1
+  fi
+  local directives
+  directives=$(grep -cvE '^(tie |#|$)' "$sched" || true)
+  if [ "$directives" -gt 5 ]; then
+    echo "sched smoke: FAIL — minimized plan has $directives directives" \
+         "(want <= 5)" >&2
+    return 1
+  fi
+  if ./build-check-schedmutation/tools/sched/lmk-sched replay "$sched"; then
+    echo "sched smoke: FAIL — minimized reproducer replays clean" >&2
+    return 1
+  fi
+  echo "sched smoke: mutation caught, shrunk to $directives directive(s)," \
+       "reproducer replays to the same failure"
 }
 
 run_audit() {
@@ -182,6 +233,12 @@ if [ "${1:-}" = "--bench-smoke" ]; then
   exit 0
 fi
 
+if [ "${1:-}" = "--sched-smoke" ]; then
+  run_sched_smoke
+  echo "check.sh: OK (sched smoke)"
+  exit 0
+fi
+
 if [ "${1:-}" = "--audit" ]; then
   run_audit
   echo "check.sh: OK (audit leg, LMK_THREADS=$LMK_THREADS)"
@@ -197,8 +254,9 @@ if [ "${1:-}" = "--all" ]; then
     run_leg "$san"
   done
   run_alloc_guard
+  run_sched_smoke
   echo "check.sh: OK (--all: lint + tidy + plain + audit + asan/ubsan/tsan" \
-       "+ alloc-guard, LMK_THREADS=$LMK_THREADS)"
+       "+ alloc-guard + sched-smoke, LMK_THREADS=$LMK_THREADS)"
   exit 0
 fi
 

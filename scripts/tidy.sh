@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# clang-tidy gate over the library code (src/ and tools/), driven by the
-# CMake compilation database. Part of scripts/check.sh --all.
+# clang-tidy gate over the library code (src/, tools/ and tests/),
+# driven by the CMake compilation database. Part of scripts/check.sh
+# --all.
 #
 # Usage:
-#   scripts/tidy.sh                 # tidy every src/ and tools/ TU
+#   scripts/tidy.sh                 # tidy every src/, tools/ and tests/ TU
 #   scripts/tidy.sh --changed [REF] # only TUs touched since REF
 #                                   # (default: $TIDY_BASE_REF or HEAD~1)
 #   BUILD_DIR=build-foo scripts/tidy.sh
@@ -39,7 +40,7 @@ fi
 
 # Collect the translation units to tidy. Headers are covered through
 # the TUs that include them (HeaderFilterRegex in .clang-tidy).
-mapfile -t files < <(find src tools -name '*.cpp' | sort)
+mapfile -t files < <(find src tools tests -name '*.cpp' | sort)
 
 if [ "${1:-}" = "--changed" ]; then
   base="${2:-${TIDY_BASE_REF:-HEAD~1}}"
@@ -67,9 +68,10 @@ if [ "${1:-}" = "--changed" ]; then
   fi
   mapfile -t changed < <(git diff --name-only --diff-filter=ACMR "$base" -- \
     'src/*.cpp' 'src/*.hpp' 'src/*.h' 'src/*.hh' \
-    'tools/*.cpp' 'tools/*.hpp' 'tools/*.h' 'tools/*.hh' | sort -u)
+    'tools/*.cpp' 'tools/*.hpp' 'tools/*.h' 'tools/*.hh' \
+    'tests/*.cpp' 'tests/*.hpp' 'tests/*.h' 'tests/*.hh' | sort -u)
   if [ "${#changed[@]}" -eq 0 ]; then
-    echo "tidy.sh: no src/tools changes since $base — nothing to tidy."
+    echo "tidy.sh: no src/tools/tests changes since $base — nothing to tidy."
     exit 0
   fi
   # A touched header tidies every TU in its directory (cheap safe

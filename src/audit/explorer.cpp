@@ -1,0 +1,190 @@
+#include "audit/explorer.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "core/index_platform.hpp"
+
+namespace lmk::audit {
+namespace {
+
+/// One execution of the canonical scenario. `sends_out`, when non-null,
+/// receives the number of messages the injector observed (the swarm
+/// generator scales its sequence-number draws with it).
+RunResult run_plan(const ExploreOptions& opts, const FaultPlan& plan,
+                   std::uint64_t* sends_out) {
+  Simulator sim;
+  sim.set_tie_break(plan.tie);
+  sim.set_shuffle_seed(plan.shuffle_seed);
+  // Constant latency on purpose: equal delays pile deliveries into the
+  // same instant, so the tie-break order (the thing kShuffled explores)
+  // decides as much as possible.
+  ConstantLatencyModel topo(opts.hosts, 10 * kMillisecond);
+  Network net(sim, topo);
+  Ring::Options ropts;
+  ropts.seed = opts.scenario_seed;
+  Ring ring(net, ropts);
+  for (HostId h = 0; h < opts.hosts; ++h) ring.create_node(h);
+  ring.bootstrap();
+  IndexPlatform::Options popts;
+  popts.replication = opts.replication;
+  IndexPlatform platform(ring, popts);
+  const std::uint32_t scheme =
+      platform.register_scheme("sched", uniform_boundary(2, 0, 1), false);
+  Rng load_rng(mix64(opts.scenario_seed ^ 0x10adull));
+  for (std::size_t i = 0; i < opts.entries; ++i) {
+    platform.insert(scheme, i,
+                    IndexPoint{load_rng.uniform(), load_rng.uniform()});
+  }
+
+  Auditor::Options aopts;
+  aopts.fail_fast = false;
+  Auditor auditor(ring, &platform, aopts);
+  auditor.install_standard_checkers();
+  auditor.capture_baseline();
+
+  FaultInjector inj(sim, plan);
+  net.set_fault_injector(&inj);
+  FaultInjector::Hooks hooks;
+  hooks.crash = [&ring, &opts](HostId h) {
+    ChordNode& n = ring.node(h);
+    // Never crash below the replication degree: a conforming plan must
+    // leave at least one copy of every entry alive.
+    if (!n.alive() || ring.alive_count() <= opts.replication) return;
+    ring.fail(n);
+  };
+  hooks.rejoin = [&ring, &plan](HostId h) {
+    ChordNode& n = ring.node(h);
+    if (n.alive()) return;
+    ring.rejoin(n, mix64(n.id() ^ (plan.shuffle_seed + 0x7ea11ull)));
+  };
+  inj.arm(std::move(hooks));
+
+  // Query workload spread across the fault window, from rotating
+  // origins resolved at fire time (the scheduled origin may have
+  // crashed by then).
+  Rng query_rng(mix64(opts.scenario_seed ^ 0x9e37ull));
+  for (std::size_t q = 0; q < opts.queries; ++q) {
+    const SimTime at = static_cast<SimTime>(
+        (q + 1) * static_cast<std::uint64_t>(opts.horizon) /
+        (opts.queries + 1));
+    const std::uint64_t pick = query_rng.next();
+    sim.schedule_at(at, [&ring, &platform, scheme, pick] {
+      auto alive = ring.alive_nodes();
+      if (alive.empty()) return;
+      platform.region_query(*alive[pick % alive.size()], scheme,
+                            Region{{Interval{0.2, 0.8}, Interval{0.2, 0.8}}},
+                            IndexPoint{0.5, 0.5}, ReplyMode::kAllMatches,
+                            [](const IndexPlatform::QueryOutcome&) {});
+    });
+  }
+  // Maintenance sweeps generate control traffic inside the window; the
+  // call drains the simulator, so every query, fault and churn
+  // directive has fired by the time it returns.
+  ring.run_stabilization(opts.stab_rounds,
+                         opts.horizon / (opts.stab_rounds + 1));
+
+  // Recovery phase (the "recover by quiescence" contract): faults off,
+  // held messages delivered, routing state repaired, replication
+  // restored — then every invariant must hold again.
+  inj.disarm();
+  sim.run();
+  for (ChordNode* n : ring.alive_nodes()) ring.fix_neighbors(*n);
+  ring.refresh_all_fingers();
+  platform.repair_replication();
+  sim.run();
+
+  RunResult res;
+  res.report = auditor.run_once();
+  res.failed = !res.report.ok();
+  res.stats = inj.stats();
+  if (sends_out != nullptr) *sends_out = inj.stats().sends;
+  net.set_fault_injector(nullptr);
+  return res;
+}
+
+}  // namespace
+
+RunResult run_scenario(const ExploreOptions& opts, const FaultPlan& plan) {
+  return run_plan(opts, plan, nullptr);
+}
+
+FaultPlan shrink(const ExploreOptions& opts, const FaultPlan& failing,
+                 std::size_t* runs) {
+  FaultPlan best = failing;
+  std::size_t budget = opts.shrink_budget;
+  const auto fails = [&](std::vector<FaultDirective> dirs) {
+    --budget;
+    if (runs != nullptr) ++*runs;
+    FaultPlan candidate = best;
+    candidate.directives = std::move(dirs);
+    return run_plan(opts, candidate, nullptr).failed;
+  };
+  // ddmin, complement-only variant: repeatedly try to delete one of n
+  // chunks; on success restart at coarser granularity, otherwise
+  // refine. Reaches 1-minimality (no single directive removable) when
+  // n grows to the list size, unless the run budget ends first.
+  std::size_t n = 2;
+  while (best.directives.size() >= 2 && budget > 0) {
+    const std::size_t len = best.directives.size();
+    const std::size_t chunk = (len + n - 1) / n;
+    bool reduced = false;
+    for (std::size_t start = 0; start < len && budget > 0; start += chunk) {
+      std::vector<FaultDirective> cand;
+      cand.reserve(len);
+      for (std::size_t i = 0; i < len; ++i) {
+        if (i >= start && i < std::min(start + chunk, len)) continue;
+        cand.push_back(best.directives[i]);
+      }
+      if (cand.empty()) continue;  // the empty plan is the passing baseline
+      if (fails(cand)) {
+        best.directives = std::move(cand);
+        n = std::max<std::size_t>(2, n - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (n >= best.directives.size()) break;
+      n = std::min(best.directives.size(), n * 2);
+    }
+  }
+  return best;
+}
+
+ExploreResult explore(const ExploreOptions& opts) {
+  ExploreResult out;
+  // Fault-free baseline: sanity-checks the scenario itself and counts
+  // the messages a clean run sends (scales sequence-number draws).
+  RunResult base = run_plan(opts, FaultPlan{}, &out.baseline_sends);
+  ++out.runs;
+  if (base.failed) {
+    out.baseline_failed = true;
+    out.found_failure = true;
+    out.violation = base.report.violations.front().to_string();
+    return out;
+  }
+  FaultPlan::GenOptions gen;
+  gen.hosts = opts.hosts;
+  gen.sends = std::max<std::uint64_t>(out.baseline_sends, 1);
+  gen.horizon = opts.horizon;
+  gen.directives = opts.directives;
+  gen.max_crashes = opts.replication > 1 ? opts.replication - 1 : 0;
+  for (std::size_t i = 0; i < opts.plans; ++i) {
+    const std::uint64_t seed = opts.swarm_seed + i;
+    FaultPlan plan = FaultPlan::generate(seed, gen);
+    RunResult r = run_plan(opts, plan, nullptr);
+    ++out.runs;
+    if (!r.failed) continue;
+    out.found_failure = true;
+    out.failing_seed = seed;
+    out.failing_plan = plan;
+    out.violation = r.report.violations.front().to_string();
+    out.minimized = shrink(opts, plan, &out.runs);
+    return out;
+  }
+  return out;
+}
+
+}  // namespace lmk::audit

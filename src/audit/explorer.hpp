@@ -1,0 +1,79 @@
+// Schedule & fault exploration: the dynamic half of lmk-sched.
+//
+// The explorer runs one canonical churn scenario — a replicated index
+// on a Chord ring serving queries while stabilization sweeps run —
+// under a swarm of seeded FaultPlans (sim/fault.hpp): each plan picks
+// a tie-break order for same-instant events (including the seeded
+// kShuffled permutation) and a handful of fault directives. The oracle
+// is the PR 3 auditor, applied with a recover-by-quiescence contract:
+// after the last fault the injector is disarmed, routing state is
+// repaired, replication is re-established, and every invariant (ring,
+// partition tiling, conservation against the pre-fault baseline) must
+// hold. A failing plan is minimized by delta debugging (ddmin over the
+// directive list) and serialized as a `.sched` file that replays
+// bit-for-bit — the artifact CI uploads and a human commits next to
+// the regression test.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "audit/auditor.hpp"
+#include "sim/fault.hpp"
+
+namespace lmk::audit {
+
+/// Scenario + swarm dimensions. Defaults are the CI smoke scale.
+struct ExploreOptions {
+  std::size_t hosts = 24;          ///< ring size
+  std::size_t entries = 240;       ///< indexed objects (2-D scheme)
+  std::size_t replication = 2;     ///< copies per entry (max_crashes + 1)
+  std::uint64_t scenario_seed = 1; ///< ring/workload seed
+  std::size_t queries = 8;         ///< queries injected during the window
+  int stab_rounds = 3;             ///< stabilization sweeps in the window
+  SimTime horizon = 600 * kMillisecond;  ///< fault window length
+  std::size_t plans = 16;          ///< seed-swarm size
+  std::uint64_t swarm_seed = 1;    ///< plan seeds are swarm_seed + i
+  std::size_t directives = 8;      ///< directives per generated plan
+  std::size_t shrink_budget = 64;  ///< max scenario runs spent shrinking
+};
+
+/// Outcome of one scenario execution under one plan.
+struct RunResult {
+  bool failed = false;        ///< final audit reported violations
+  AuditReport report;         ///< the final (post-recovery) audit pass
+  FaultInjector::Stats stats; ///< what the plan actually injected
+};
+
+/// Run the canonical scenario once under `plan`. Deterministic: the
+/// same options and plan always produce the same result.
+[[nodiscard]] RunResult run_scenario(const ExploreOptions& opts,
+                                     const FaultPlan& plan);
+
+/// ddmin over `failing.directives`: the smallest sub-list (tie mode and
+/// shuffle seed held fixed) that still fails the scenario, within
+/// `opts.shrink_budget` runs. `runs`, when non-null, accumulates the
+/// scenario executions spent.
+[[nodiscard]] FaultPlan shrink(const ExploreOptions& opts,
+                               const FaultPlan& failing,
+                               std::size_t* runs = nullptr);
+
+/// Swarm exploration result.
+struct ExploreResult {
+  bool found_failure = false;
+  bool baseline_failed = false;  ///< the fault-free run itself failed
+  std::uint64_t failing_seed = 0;
+  FaultPlan failing_plan;   ///< the plan as generated
+  FaultPlan minimized;      ///< after ddmin
+  std::string violation;    ///< first violation of the failing run
+  std::size_t runs = 0;     ///< scenario executions (swarm + shrink)
+  std::uint64_t baseline_sends = 0;  ///< fault-free message count
+};
+
+/// Run the swarm: a fault-free baseline first (its send count scales
+/// the generated sequence numbers; a baseline failure aborts the
+/// swarm), then `opts.plans` generated plans until one fails. The
+/// first failure is shrunk and returned.
+[[nodiscard]] ExploreResult explore(const ExploreOptions& opts);
+
+}  // namespace lmk::audit

@@ -78,10 +78,14 @@ bool LoadBalancer::try_migrate(ChordNode& heavy) {
   if (!in_open(split, heavy.predecessor().id, heavy.id())) {
     return false;  // degenerate range (e.g. all entries on one key)
   }
+  // Collision probe stands in for the paper's out-of-band lookup
+  // before the victim rejoins at the split point.
+  // lmk-lint: allow(cross-node-touch) modeled out-of-band control plane
   ChordNode* occupied = ring_.oracle_successor(split);
   while (occupied->id() == split) {
     ++split;  // avoid identifier collisions with existing nodes
     if (!in_open(split, heavy.predecessor().id, heavy.id())) return false;
+    // lmk-lint: allow(cross-node-touch) same collision probe, next id
     occupied = ring_.oracle_successor(split);
   }
   // Victim leaves: its entries drain to its successor.
@@ -104,12 +108,16 @@ int LoadBalancer::run_round() {
   int migrated = 0;
   // Deterministic sweep; each migration immediately repairs the local
   // neighbourhood, so later nodes in the sweep see fresh state.
+  // The round driver models the balancer's global probe schedule,
+  // not a single node's handler.
+  // lmk-lint: allow(cross-node-touch) round driver, not a handler
   for (ChordNode* n : ring_.alive_nodes()) {
     if (!n->alive()) continue;  // may have migrated earlier this round
     if (try_migrate(*n)) ++migrated;
   }
   // Let finger tables catch up with the membership changes (stand-in
   // for the background fix-finger rounds that would run between probes).
+  // lmk-lint: allow(cross-node-touch) stand-in for fix-finger rounds
   if (migrated > 0) ring_.refresh_all_fingers();
   return migrated;
 }

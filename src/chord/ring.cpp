@@ -154,6 +154,14 @@ void Ring::refresh_all_fingers() {
   for (ChordNode* n : sorted_) fix_fingers(*n);
 }
 
+// lmk-handler
+// Protocol section: everything from rpc() through stabilize() runs
+// inside message deliveries, so the handler-discipline lints apply —
+// no ring-oracle reads, no shared RNG draws, no raw simulator
+// scheduling. The oracle half above (bootstrap, fix_neighbors,
+// fix_fingers, ...) and the drivers below (run_stabilization,
+// leave/fail/rejoin) are deliberately outside the region: they model
+// test-harness omniscience, not node behavior.
 void Ring::rpc(HostId from, ChordNode& to, std::function<void(ChordNode&)> fn) {
   ChordNode* target = &to;
   std::uint32_t inc = to.incarnation();
@@ -337,6 +345,7 @@ void Ring::stabilize(ChordNode& n) {
     });
   });
 }
+// lmk-handler-end
 
 void Ring::run_stabilization(int rounds, SimTime period) {
   for (int r = 0; r < rounds; ++r) {

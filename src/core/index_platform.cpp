@@ -1,6 +1,9 @@
 #include "core/index_platform.hpp"
 
 #include <algorithm>
+#ifdef LMK_SCHED_MUTATION
+#include <map>
+#endif
 
 #include "balance/rotation.hpp"
 #include "common/check.hpp"
@@ -681,6 +684,13 @@ void IndexPlatform::repair_replication() {
   std::vector<std::vector<Logical>> per_scheme(schemes_.size());
   std::vector<std::unordered_map<std::uint64_t, std::unordered_set<Id>>>
       seen(schemes_.size());
+#ifdef LMK_SCHED_MUTATION
+  // Mutation-gate bookkeeping (see below): which live nodes held a copy
+  // of each logical entry before the rebuild.
+  std::vector<std::map<std::pair<std::uint64_t, Id>,
+                       std::vector<const ChordNode*>>>
+      holders(schemes_.size());
+#endif
   // The sweep order decides which replica's copy survives dedup and in
   // what order the rebuilt stores are filled — iterating the
   // pointer-keyed hash map directly would tie both to allocation
@@ -707,6 +717,9 @@ void IndexPlatform::repair_replication() {
       if (!dead) {
         const EntryStore& es = store.per_scheme[sc].entries;
         for (std::size_t i = 0; i < es.size(); ++i) {
+#ifdef LMK_SCHED_MUTATION
+          holders[sc][{es.object(i), es.key(i)}].push_back(node);
+#endif
           if (seen[sc][es.object(i)].insert(es.key(i)).second) {
             IndexEntry e = es.entry(i);
             per_scheme[sc].push_back(
@@ -723,6 +736,20 @@ void IndexPlatform::repair_replication() {
   for (std::size_t sc = 0; sc < per_scheme.size(); ++sc) {
     for (Logical& l : per_scheme[sc]) {
       for (ChordNode* node : replica_nodes(l.key)) {
+#ifdef LMK_SCHED_MUTATION
+        // Deliberately broken repair, compiled in only for the
+        // lmk-sched mutation gate (scripts/check.sh --sched-smoke):
+        // copies are refreshed solely on nodes that already held one,
+        // never re-replicated onto a replacement successor. Invisible
+        // on a fault-free run (every replica already holds its copy);
+        // after a crash the entry silently stays under-replicated,
+        // which the explorer must catch as a conservation violation
+        // and shrink to a minimal fault plan.
+        const auto& held = holders[sc][{l.object, l.key}];
+        if (std::find(held.begin(), held.end(), node) == held.end()) {
+          continue;
+        }
+#endif
         entries(*node, static_cast<std::uint32_t>(sc))
             .push_back(l.key, l.object, l.point);
       }

@@ -1,8 +1,10 @@
 #include "net/king_loader.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <fstream>
 #include <sstream>
+#include <system_error>
 #include <vector>
 
 namespace lmk {
@@ -24,21 +26,49 @@ std::unique_ptr<MatrixLatencyModel> parse_king_matrix(
     std::size_t hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);
     std::istringstream ls(line);
-    long long a = 0, b = 0, rtt = 0;
+    long long a = 0, b = 0;
+    std::string rtt_tok;
     if (!(ls >> a)) continue;  // blank/comment-only line
-    if (!(ls >> b >> rtt)) {
+    if (!(ls >> b >> rtt_tok)) {
       return fail("line " + std::to_string(line_no) + ": expected 'a b rtt'");
     }
     if (a < 0 || b < 0 || static_cast<std::size_t>(a) >= hosts ||
         static_cast<std::size_t>(b) >= hosts) {
       return fail("line " + std::to_string(line_no) + ": host out of range");
     }
+    // Parse the rtt with from_chars so an out-of-range value (the King
+    // files carry raw microsecond integers; a corrupt line can exceed
+    // int64) gets its own message instead of a generic parse failure.
+    SimTime rtt = 0;
+    auto [end, ec] = std::from_chars(
+        rtt_tok.data(), rtt_tok.data() + rtt_tok.size(), rtt);
+    if (ec == std::errc::result_out_of_range) {
+      return fail("line " + std::to_string(line_no) + ": rtt '" + rtt_tok +
+                  "' overflows SimTime");
+    }
+    if (ec != std::errc() || end != rtt_tok.data() + rtt_tok.size()) {
+      return fail("line " + std::to_string(line_no) + ": expected 'a b rtt'");
+    }
     if (rtt < 0) {
       return fail("line " + std::to_string(line_no) + ": negative rtt");
     }
-    SimTime one_way = static_cast<SimTime>(rtt) / 2;
-    matrix[static_cast<std::size_t>(a) * hosts +
-           static_cast<std::size_t>(b)] = one_way;
+    SimTime one_way = rtt / 2;
+    SimTime& cell = matrix[static_cast<std::size_t>(a) * hosts +
+                           static_cast<std::size_t>(b)];
+    if (cell >= 0) {
+      // The pair was already measured (directly or via symmetry).
+      // Identical repeats are tolerated; conflicting ones are rejected
+      // rather than silently letting the last line win.
+      if (cell != one_way) {
+        return fail("line " + std::to_string(line_no) +
+                    ": conflicting duplicate measurement for pair " +
+                    std::to_string(a) + " " + std::to_string(b) +
+                    " (one-way " + std::to_string(one_way) +
+                    " vs earlier " + std::to_string(cell) + ")");
+      }
+      continue;  // identical duplicate: do not re-count in the median
+    }
+    cell = one_way;
     matrix[static_cast<std::size_t>(b) * hosts +
            static_cast<std::size_t>(a)] = one_way;
     if (a != b) seen.push_back(one_way);

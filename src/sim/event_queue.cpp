@@ -1,6 +1,7 @@
 #include "sim/event_queue.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.hpp"
 
@@ -45,6 +46,17 @@ EventFn EventQueue::pop(SimTime* at) {
   if (mode_ == TieBreak::kFifo) {
     slot = std::move(b.events[b.head++]);
   } else {
+    if (mode_ == TieBreak::kShuffled && b.events.size() > 1) {
+      // Draw a seeded index and swap it to the back; the draw key mixes
+      // (seed, timestamp, draws-so-far) so the permutation is a pure
+      // function of the seed and the bucket's arrival sequence — a
+      // same-instant push joins the remaining pool and stays eligible.
+      // Swap moves the two Slots in place: no allocation on this path.
+      std::size_t idx =
+          mix(shuffle_seed_ ^ (mix(b.at) + b.drawn)) % b.events.size();
+      ++b.drawn;
+      if (idx + 1 != b.events.size()) std::swap(b.events[idx], b.events.back());
+    }
     slot = std::move(b.events.back());
     b.events.pop_back();
   }
@@ -75,6 +87,11 @@ void EventQueue::clear() {
 void EventQueue::set_tie_break(TieBreak mode) {
   LMK_CHECK(empty());
   mode_ = mode;
+}
+
+void EventQueue::set_shuffle_seed(std::uint64_t seed) {
+  LMK_CHECK(empty());
+  shuffle_seed_ = seed;
 }
 
 TieStats EventQueue::tie_stats() {
@@ -151,6 +168,7 @@ void EventQueue::release_min_bucket() {
   table_erase(b.at);
   b.events.clear();  // keeps capacity for the bucket's next incarnation
   b.head = 0;
+  b.drawn = 0;
   // lmk-lint: allow(hot-alloc) free-list capacity warmup, amortizes to zero
   free_.push_back(heap_.front().bucket);
   HeapItem last = heap_.back();

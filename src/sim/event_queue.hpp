@@ -12,7 +12,11 @@
 // (events arrive in ascending sequence number, a cursor pops from the
 // front), under kReversed it is a stack (pop from the back yields
 // descending sequence, and a same-instant push lands on top — exactly
-// the event that reversed order pops next). Heap sifts therefore cost
+// the event that reversed order pops next), and under kShuffled the
+// bucket is a pool (each pop swaps a seeded draw to the back and pops
+// it, yielding a deterministic-per-seed permutation of the same-instant
+// events — the schedule explorer's arbitrary-order probe). Heap sifts
+// therefore cost
 // O(log #distinct-timestamps) per *timestamp*, not per event — the win
 // that matters under bursty delivery, where one instant carries many
 // events. Callables are EventClosure (event_closure.hpp): 64-byte
@@ -50,12 +54,13 @@ using EventFn = EventClosure;
 /// Actor tag for events not attributed to any node.
 inline constexpr std::uint64_t kNoActor = ~std::uint64_t{0};
 
-/// How same-timestamp events are ordered. Both modes are fully
-/// deterministic; kReversed exists only to perturb tie order for the
-/// race detector.
+/// How same-timestamp events are ordered. All modes are fully
+/// deterministic; kReversed and kShuffled exist only to perturb tie
+/// order for the race detector and the schedule explorer.
 enum class TieBreak : std::uint8_t {
   kFifo,      // insertion order (the default)
   kReversed,  // reverse insertion order among equal timestamps
+  kShuffled,  // seeded permutation among equal timestamps (set_shuffle_seed)
 };
 
 /// Counters over same-(timestamp, actor) event groups observed at pop
@@ -96,6 +101,12 @@ class EventQueue {
 
   [[nodiscard]] TieBreak tie_break() const { return mode_; }
 
+  /// Seed for kShuffled draws. Must be called while the queue is empty
+  /// (a mid-bucket seed change would re-key a half-drained permutation).
+  void set_shuffle_seed(std::uint64_t seed);
+
+  [[nodiscard]] std::uint64_t shuffle_seed() const { return shuffle_seed_; }
+
   /// Tie-group counters accumulated so far. Flushes the group forming
   /// at the current head timestamp, so call at quiescence for exact
   /// totals (mid-timestamp calls may split one group into two).
@@ -108,10 +119,13 @@ class EventQueue {
     EventClosure fn;
   };
   /// All events pending at one instant, in arrival (= sequence) order.
-  /// kFifo pops events[head], kReversed pops events.back().
+  /// kFifo pops events[head], kReversed pops events.back(); kShuffled
+  /// swaps a seeded draw to the back first (drawn counts the draws so
+  /// each pop re-keys the permutation deterministically).
   struct Bucket {
     SimTime at = 0;
     std::size_t head = 0;
+    std::uint32_t drawn = 0;
     std::vector<Slot> events;
   };
   /// Heap key: buckets ordered by timestamp alone (timestamps of live
@@ -154,6 +168,7 @@ class EventQueue {
   std::size_t table_live_ = 0;
   std::size_t size_ = 0;             // pending events across all buckets
   TieBreak mode_ = TieBreak::kFifo;
+  std::uint64_t shuffle_seed_ = 0;   // keys kShuffled draws
   TieStats stats_;
   // Actors of events popped at the head timestamp, in pop order. The
   // flush sorts and counts runs — O(1) append per pop, and the

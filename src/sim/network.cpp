@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "sim/fault.hpp"
 
 namespace lmk {
 
@@ -25,6 +26,13 @@ void Network::send(HostId from, HostId to, std::uint64_t bytes,
     // low-latency links (delay * fraction < 1) and biasing the rest low.
     delay += static_cast<SimTime>(std::llround(
         static_cast<double>(delay) * jitter_ * jitter_rng_.uniform()));
+  }
+  // Offer the message to the fault injector (counters above already
+  // charged: a dropped message still consumed uplink bandwidth). A
+  // consumed message was dropped or held; otherwise the injector may
+  // have stretched `delay`.
+  if (faults_ != nullptr && faults_->on_send(from, to, delay, handler)) {
+    return;
   }
   // Tag the delivery with the destination host so the event queue can
   // record same-(timestamp, node) tie groups for the race detector.

@@ -16,6 +16,8 @@
 
 namespace lmk {
 
+class FaultInjector;
+
 /// Byte/message counters for one traffic category (e.g. one query, or
 /// all maintenance traffic).
 struct TrafficCounter {
@@ -37,6 +39,14 @@ class Network {
   /// Enable per-message delay jitter: each delivery takes
   /// latency * (1 + U[0, fraction)). Deterministic for a given seed.
   void set_jitter(double fraction, std::uint64_t seed);
+
+  /// Install (or, with nullptr, remove) a fault injector (sim/fault.hpp):
+  /// every send is offered to it before scheduling, so an armed injector
+  /// can drop, hold, or retime messages. The network does not own the
+  /// injector; with none installed send() behaves exactly as before.
+  void set_fault_injector(FaultInjector* injector) { faults_ = injector; }
+
+  [[nodiscard]] FaultInjector* fault_injector() const { return faults_; }
 
   /// Deliver `handler` at `to` after the one-way latency from `from`.
   /// `bytes` is the modeled message size; `counter` (optional) receives
@@ -64,6 +74,7 @@ class Network {
   TrafficCounter total_;
   double jitter_ = 0;
   Rng jitter_rng_{0};
+  FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace lmk

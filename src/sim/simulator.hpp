@@ -70,6 +70,10 @@ class Simulator {
   /// Only valid while no events are pending.
   void set_tie_break(TieBreak mode) { queue_.set_tie_break(mode); }
 
+  /// Seed for TieBreak::kShuffled same-timestamp draws (schedule
+  /// explorer probe). Only valid while no events are pending.
+  void set_shuffle_seed(std::uint64_t seed) { queue_.set_shuffle_seed(seed); }
+
   /// Same-(timestamp, actor) tie-group counters from the event queue.
   [[nodiscard]] TieStats tie_stats() { return queue_.tie_stats(); }
 

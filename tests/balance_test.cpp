@@ -87,6 +87,7 @@ TEST(Migration, ProbeSetRespectsLevelAndExcludesSelf) {
   EXPECT_FALSE(probes.empty());
   for (ChordNode* p : probes) EXPECT_NE(p, n);
   // Level-1 probes are exactly the valid routing-table neighbours.
+  // lmk-lint: allow(pointer-key) membership-equality check only
   std::set<ChordNode*> expected;
   for (const NodeRef& r : n->successor_list()) {
     if (r.valid()) expected.insert(r.node);
@@ -95,6 +96,7 @@ TEST(Migration, ProbeSetRespectsLevelAndExcludesSelf) {
     if (r.valid() && r.node != n) expected.insert(r.node);
   }
   if (n->predecessor().valid()) expected.insert(n->predecessor().node);
+  // lmk-lint: allow(pointer-key) same membership-equality check
   std::set<ChordNode*> got(probes.begin(), probes.end());
   EXPECT_EQ(got, expected);
 }

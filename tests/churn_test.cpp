@@ -8,7 +8,9 @@
 #include <optional>
 #include <set>
 
+#include "audit/auditor.hpp"
 #include "core/index_platform.hpp"
+#include "sim/fault.hpp"
 
 namespace lmk {
 namespace {
@@ -343,6 +345,91 @@ TEST(Churn, ProtocolJoinsDuringQueriesDoNotCorruptState) {
   // here we only require completion and state sanity).
   ring.run_stabilization(15, 100 * kMillisecond);
   EXPECT_EQ(ring.alive_count(), 40u);
+}
+
+// Crash-rejoin under message faults, with the PR 3 auditor as the
+// oracle: a host crash-stops mid-run while drops, delays and a
+// partition window mangle the repair traffic, the host rejoins, and by
+// quiescence (faults disarmed, neighbours fixed, replication repaired)
+// every invariant — entry conservation and partition tiling included —
+// must hold again.
+TEST(Churn, CrashRejoinUnderFaultsRecoversByQuiescence) {
+  Simulator sim;
+  ConstantLatencyModel topo(16, 10 * kMillisecond);
+  Network net(sim, topo);
+  Ring::Options ropts;
+  ropts.seed = 5;
+  Ring ring(net, ropts);
+  for (HostId h = 0; h < 16; ++h) ring.create_node(h);
+  ring.bootstrap();
+  IndexPlatform::Options popts;
+  popts.replication = 2;  // the crashed host's entries survive on a peer
+  IndexPlatform platform(ring, popts);
+  const std::uint32_t scheme =
+      platform.register_scheme("faulted", uniform_boundary(1, 0, 1), false);
+  Rng rng(42);
+  for (std::uint64_t i = 0; i < 120; ++i) {
+    platform.insert(scheme, i, IndexPoint{rng.uniform()});
+  }
+
+  audit::Auditor::Options aopts;
+  aopts.fail_fast = false;
+  audit::Auditor auditor(ring, &platform, aopts);
+  auditor.install_standard_checkers();
+  auditor.capture_baseline();
+
+  FaultPlan plan;
+  plan.directives = {
+      {FaultKind::kDrop, 5, 0, 0, 0, 0, 0},
+      {FaultKind::kDrop, 11, 0, 0, 0, 0, 0},
+      {FaultKind::kDelay, 17, 30 * kMillisecond, 0, 0, 0, 0},
+      {FaultKind::kPartition, 0, 0, 2, 9, 50 * kMillisecond,
+       250 * kMillisecond},
+      {FaultKind::kCrash, 0, 0, 7, 0, 100 * kMillisecond, 0},
+      {FaultKind::kRejoin, 0, 0, 7, 0, 400 * kMillisecond, 0},
+  };
+  FaultInjector inj(sim, plan);
+  net.set_fault_injector(&inj);
+  FaultInjector::Hooks hooks;
+  hooks.crash = [&ring](HostId h) {
+    ChordNode& n = ring.node(h);
+    if (n.alive()) ring.fail(n);
+  };
+  hooks.rejoin = [&ring](HostId h) {
+    ChordNode& n = ring.node(h);
+    if (!n.alive()) ring.rejoin(n, mix64(n.id() ^ 0x7ea11ull));
+  };
+  inj.arm(std::move(hooks));
+
+  // Queries across the fault window, origins resolved at fire time.
+  int completed = 0;
+  for (int q = 0; q < 4; ++q) {
+    sim.schedule_at((q + 1) * 120 * kMillisecond, [&] {
+      auto alive = ring.alive_nodes();
+      platform.region_query(*alive[static_cast<std::size_t>(completed) %
+                                   alive.size()],
+                            scheme, Region{{Interval{0.1, 0.9}}},
+                            IndexPoint{0.5}, ReplyMode::kAllMatches,
+                            [&](const auto&) { ++completed; });
+    });
+  }
+  ring.run_stabilization(4, 150 * kMillisecond);
+  EXPECT_GE(inj.stats().crashes, 1u);
+  EXPECT_GE(inj.stats().rejoins, 1u);
+  EXPECT_GE(inj.stats().dropped, 1u);
+
+  // Quiescence: faults off, held messages flushed, routing and
+  // replication repaired. The auditor must find nothing.
+  inj.disarm();
+  sim.run();
+  for (ChordNode* n : ring.alive_nodes()) ring.fix_neighbors(*n);
+  ring.refresh_all_fingers();
+  platform.repair_replication();
+  sim.run();
+  audit::AuditReport report = auditor.run_once();
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(ring.alive_count(), 16u);
+  net.set_fault_injector(nullptr);
 }
 
 }  // namespace

@@ -622,6 +622,152 @@ TEST(ArenaEscape, AllowCommentSuppresses) {
   EXPECT_FALSE(has_rule(fs, "arena-escape"));
 }
 
+// ----- handler discipline: cross-node-touch -----
+
+TEST(CrossNodeTouch, FlagsOracleCallInMarkedHandlerRegion) {
+  auto fs = lint_source("a.cpp",
+                        "// lmk-handler\n"
+                        "void on_query() { ChordNode* s = "
+                        "ring_.oracle_successor(id); }\n"
+                        "// lmk-handler-end\n");
+  ASSERT_TRUE(has_rule(fs, "cross-node-touch"));
+  EXPECT_EQ(fs[0].line, 2);
+}
+
+TEST(CrossNodeTouch, OutsideRegionIsFine) {
+  auto fs = lint_source(
+      "a.cpp",
+      "void driver() { ChordNode* s = ring_.oracle_successor(id); }\n");
+  EXPECT_FALSE(has_rule(fs, "cross-node-touch"));
+}
+
+TEST(CrossNodeTouch, CuratedHandlerFileNeedsNoMarkers) {
+  FileOptions opts;
+  opts.handler_file = true;
+  auto fs = lint_source(
+      "a.cpp", "void on_query() { ring_.refresh_all_fingers(); }\n", opts);
+  EXPECT_TRUE(has_rule(fs, "cross-node-touch"));
+}
+
+TEST(CrossNodeTouch, DeclarationIsNotACall) {
+  FileOptions opts;
+  opts.handler_file = true;
+  // A member named after an oracle token, without a call, is fine.
+  auto fs = lint_source("a.cpp", "int fix_fingers = 0;\n", opts);
+  EXPECT_FALSE(has_rule(fs, "cross-node-touch"));
+}
+
+TEST(CrossNodeTouch, AllowCommentSuppresses) {
+  FileOptions opts;
+  opts.handler_file = true;
+  auto fs = lint_source(
+      "a.cpp",
+      "// lmk-lint: allow(cross-node-touch) modeled control plane\n"
+      "ChordNode* s = ring_.oracle_successor(id);\n",
+      opts);
+  EXPECT_FALSE(has_rule(fs, "cross-node-touch"));
+}
+
+// ----- handler discipline: unforked-rng -----
+
+TEST(UnforkedRng, FlagsSharedMemberStreamDraw) {
+  auto fs = lint_source("a.cpp",
+                        "// lmk-handler\n"
+                        "void on_probe() { std::size_t i = "
+                        "rng_.below(peers.size()); }\n"
+                        "// lmk-handler-end\n");
+  EXPECT_TRUE(has_rule(fs, "unforked-rng"));
+}
+
+TEST(UnforkedRng, ForkedLocalStreamIsFine) {
+  // fork() is the sanctioned pattern, and draws on the resulting local
+  // (no trailing underscore) are not shared state.
+  auto fs = lint_source("a.cpp",
+                        "// lmk-handler\n"
+                        "void on_probe() {\n"
+                        "  Rng local = rng_.fork();\n"
+                        "  std::size_t i = local.below(n);\n"
+                        "}\n"
+                        "// lmk-handler-end\n");
+  EXPECT_FALSE(has_rule(fs, "unforked-rng"));
+}
+
+TEST(UnforkedRng, NonRngReceiverIsFine) {
+  // queue_.next() ends in '_' but the receiver is not an rng.
+  auto fs = lint_source("a.cpp",
+                        "// lmk-handler\n"
+                        "void on_tick() { Event e = queue_.next(); }\n"
+                        "// lmk-handler-end\n");
+  EXPECT_FALSE(has_rule(fs, "unforked-rng"));
+}
+
+TEST(UnforkedRng, OutsideRegionIsFine) {
+  auto fs = lint_source(
+      "a.cpp", "void setup() { std::size_t i = rng_.below(n); }\n");
+  EXPECT_FALSE(has_rule(fs, "unforked-rng"));
+}
+
+TEST(UnforkedRng, AllowCommentSuppresses) {
+  FileOptions opts;
+  opts.handler_file = true;
+  auto fs = lint_source(
+      "a.cpp",
+      "// lmk-lint: allow(unforked-rng) single-threaded setup path\n"
+      "std::size_t i = query_rng_.below(n);\n",
+      opts);
+  EXPECT_FALSE(has_rule(fs, "unforked-rng"));
+}
+
+// ----- handler discipline: raw-schedule -----
+
+TEST(RawSchedule, FlagsScheduleInsideHandler) {
+  auto fs = lint_source("a.cpp",
+                        "// lmk-handler\n"
+                        "void on_msg() { sim_.schedule_after(d, cb); }\n"
+                        "// lmk-handler-end\n");
+  EXPECT_TRUE(has_rule(fs, "raw-schedule"));
+  auto gs = lint_source("a.cpp",
+                        "// lmk-handler\n"
+                        "void on_msg() { sim_.schedule_at(t, cb); }\n"
+                        "// lmk-handler-end\n");
+  EXPECT_TRUE(has_rule(gs, "raw-schedule"));
+}
+
+TEST(RawSchedule, DriverCodeOutsideRegionIsFine) {
+  auto fs = lint_source(
+      "a.cpp", "void run_rounds() { sim_.schedule_after(d, cb); }\n");
+  EXPECT_FALSE(has_rule(fs, "raw-schedule"));
+}
+
+TEST(RawSchedule, AllowCommentSuppresses) {
+  FileOptions opts;
+  opts.handler_file = true;
+  auto fs = lint_source(
+      "a.cpp",
+      "// lmk-lint: allow(raw-schedule) node-local retransmit timer\n"
+      "sim_.schedule_after(d, cb);\n",
+      opts);
+  EXPECT_FALSE(has_rule(fs, "raw-schedule"));
+}
+
+// ----- lint-module exemption -----
+
+TEST(LintModule, MarkerMentionsDoNotOpenRegions) {
+  // The lint's own sources mention the marker strings in comments and
+  // doc text; without the exemption those would open phantom regions
+  // and flag the quoted token catalogues.
+  FileOptions opts;
+  opts.lint_module = true;
+  auto fs = lint_source("a.cpp",
+                        "// Regions open with lmk-handler markers.\n"
+                        "void scan() { sim_.schedule_after(d, cb); }\n"
+                        "// lmk-hot-path is the other marker.\n"
+                        "void f() { auto* p = new int[8]; }\n",
+                        opts);
+  EXPECT_FALSE(has_rule(fs, "raw-schedule"));
+  EXPECT_FALSE(has_rule(fs, "hot-alloc"));
+}
+
 // ----- --stats plumbing -----
 
 TEST(LintStats, AccumulatesPerRuleTiming) {

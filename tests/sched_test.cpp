@@ -1,0 +1,179 @@
+// Tests for the lmk-sched schedule & fault exploration gate: the
+// .sched plan text format, seeded plan generation, fault-injector
+// determinism, and the explorer's recover-by-quiescence oracle on the
+// clean tree (the mutation-catching path is exercised end-to-end by
+// scripts/check.sh --sched-smoke).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "audit/explorer.hpp"
+#include "sim/fault.hpp"
+
+namespace lmk {
+namespace {
+
+FaultPlan sample_plan() {
+  FaultPlan p;
+  p.tie = TieBreak::kShuffled;
+  p.shuffle_seed = 77;
+  p.directives = {
+      {FaultKind::kDrop, 4, 0, 0, 0, 0, 0},
+      {FaultKind::kDuplicate, 9, 2 * kMillisecond, 0, 0, 0, 0},
+      {FaultKind::kDelay, 15, 30 * kMillisecond, 0, 0, 0, 0},
+      {FaultKind::kReorder, 21, 0, 0, 0, 0, 0},
+      {FaultKind::kPartition, 0, 0, 2, 9, 50 * kMillisecond,
+       250 * kMillisecond},
+      {FaultKind::kCrash, 0, 0, 7, 0, 100 * kMillisecond, 0},
+      {FaultKind::kRejoin, 0, 0, 7, 0, 400 * kMillisecond, 0},
+  };
+  return p;
+}
+
+audit::ExploreOptions small_opts() {
+  audit::ExploreOptions opts;
+  opts.hosts = 16;
+  opts.entries = 120;
+  opts.queries = 4;
+  opts.stab_rounds = 2;
+  opts.plans = 4;
+  opts.directives = 6;
+  return opts;
+}
+
+// ----- .sched text format -----
+
+TEST(FaultPlanText, RoundTripPreservesEveryDirectiveKind) {
+  FaultPlan p = sample_plan();
+  std::string text = p.to_text();
+  FaultPlan q;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::parse(text, &q, &error)) << error;
+  EXPECT_EQ(q.tie, TieBreak::kShuffled);
+  EXPECT_EQ(q.shuffle_seed, 77u);
+  ASSERT_EQ(q.directives.size(), p.directives.size());
+  // Serializing the parse result reproduces the text byte-for-byte, so
+  // a committed reproducer survives any number of edit round-trips.
+  EXPECT_EQ(q.to_text(), text);
+}
+
+TEST(FaultPlanText, ParseErrorsCarryLineNumbers) {
+  FaultPlan q;
+  std::string error;
+  EXPECT_FALSE(FaultPlan::parse("tie fifo 0\nwarp 3\n", &q, &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+  EXPECT_NE(error.find("warp"), std::string::npos) << error;
+  EXPECT_FALSE(FaultPlan::parse("tie sideways 1\n", &q, &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+  EXPECT_FALSE(FaultPlan::parse("drop 5 6\n", &q, &error));
+  EXPECT_NE(error.find("trailing"), std::string::npos) << error;
+  // Inverted partition window (until < at) is malformed, not silent.
+  EXPECT_FALSE(FaultPlan::parse("partition 1 2 900 300\n", &q, &error));
+  EXPECT_NE(error.find("malformed"), std::string::npos) << error;
+}
+
+TEST(FaultPlanText, CommentsAndBlankLinesAreIgnored) {
+  FaultPlan q;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::parse(
+      "# header\n\ntie reversed 0\n# mid comment\ndrop 12\n", &q, &error))
+      << error;
+  EXPECT_EQ(q.tie, TieBreak::kReversed);
+  ASSERT_EQ(q.directives.size(), 1u);
+  EXPECT_EQ(q.directives[0].kind, FaultKind::kDrop);
+  EXPECT_EQ(q.directives[0].seq, 12u);
+}
+
+// ----- seeded generation -----
+
+TEST(FaultPlanGenerate, DeterministicPerSeedAndSeedSensitive) {
+  FaultPlan::GenOptions g;
+  g.hosts = 24;
+  g.sends = 1000;
+  g.horizon = 600 * kMillisecond;
+  g.directives = 8;
+  EXPECT_EQ(FaultPlan::generate(3, g).to_text(),
+            FaultPlan::generate(3, g).to_text());
+  EXPECT_NE(FaultPlan::generate(3, g).to_text(),
+            FaultPlan::generate(4, g).to_text());
+}
+
+TEST(FaultPlanGenerate, EveryCrashHasALaterRejoinOfTheSameHost) {
+  FaultPlan::GenOptions g;
+  g.hosts = 16;
+  g.sends = 500;
+  g.horizon = 600 * kMillisecond;
+  g.directives = 10;
+  g.max_crashes = 1;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    FaultPlan p = FaultPlan::generate(seed, g);
+    std::size_t crashes = 0;
+    for (std::size_t i = 0; i < p.directives.size(); ++i) {
+      const FaultDirective& d = p.directives[i];
+      if (d.kind != FaultKind::kCrash) continue;
+      ++crashes;
+      bool paired = false;
+      for (std::size_t j = i + 1; j < p.directives.size(); ++j) {
+        const FaultDirective& r = p.directives[j];
+        if (r.kind == FaultKind::kRejoin && r.a == d.a && r.at > d.at) {
+          paired = true;
+        }
+      }
+      EXPECT_TRUE(paired) << "seed " << seed << ": crash of host " << d.a
+                          << " never rejoins";
+    }
+    EXPECT_LE(crashes, g.max_crashes) << "seed " << seed;
+  }
+}
+
+// ----- injector + explorer on the clean tree -----
+
+TEST(Explorer, FaultFreeScenarioPassesAndIsDeterministic) {
+  const audit::ExploreOptions opts = small_opts();
+  const FaultPlan none;
+  audit::RunResult a = audit::run_scenario(opts, none);
+  audit::RunResult b = audit::run_scenario(opts, none);
+  EXPECT_FALSE(a.failed) << a.report.summary();
+  EXPECT_GT(a.stats.sends, 0u);
+  EXPECT_EQ(a.stats.dropped, 0u);
+  EXPECT_EQ(a.stats.crashes, 0u);
+  // Same options, same plan: bit-identical traffic.
+  EXPECT_EQ(a.stats.sends, b.stats.sends);
+  EXPECT_EQ(a.failed, b.failed);
+}
+
+TEST(Explorer, FaultedScenarioRecoversAndStatsAreDeterministic) {
+  const audit::ExploreOptions opts = small_opts();
+  FaultPlan::GenOptions g;
+  g.hosts = opts.hosts;
+  g.sends = 400;
+  g.horizon = opts.horizon;
+  g.directives = opts.directives;
+  const FaultPlan plan = FaultPlan::generate(7, g);
+  audit::RunResult a = audit::run_scenario(opts, plan);
+  audit::RunResult b = audit::run_scenario(opts, plan);
+  // Clean tree: whatever the faults broke must heal by quiescence.
+  EXPECT_FALSE(a.failed) << a.report.summary();
+  EXPECT_EQ(a.stats.sends, b.stats.sends);
+  EXPECT_EQ(a.stats.dropped, b.stats.dropped);
+  EXPECT_EQ(a.stats.duplicated, b.stats.duplicated);
+  EXPECT_EQ(a.stats.delayed, b.stats.delayed);
+  EXPECT_EQ(a.stats.reordered, b.stats.reordered);
+  EXPECT_EQ(a.stats.crashes, b.stats.crashes);
+  EXPECT_EQ(a.stats.rejoins, b.stats.rejoins);
+}
+
+TEST(Explorer, SmallSwarmRecoversOnCleanTree) {
+  const audit::ExploreOptions opts = small_opts();
+  audit::ExploreResult res = audit::explore(opts);
+  EXPECT_FALSE(res.baseline_failed) << res.violation;
+  EXPECT_FALSE(res.found_failure) << res.violation;
+  EXPECT_GT(res.baseline_sends, 0u);
+  // Baseline + one run per swarm plan.
+  EXPECT_EQ(res.runs, opts.plans + 1);
+}
+
+}  // namespace
+}  // namespace lmk

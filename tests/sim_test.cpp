@@ -5,7 +5,9 @@
 #include <array>
 #include <cmath>
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -214,6 +216,48 @@ TEST(KingLoader, RejectsMalformedInput) {
   EXPECT_EQ(parse_king_matrix("", 2, &error), nullptr);
 }
 
+TEST(KingLoader, RejectsConflictingDuplicatePairs) {
+  std::string error;
+  // Same pair, different rtt: the last line must not silently win.
+  EXPECT_EQ(parse_king_matrix("0 1 20000\n0 1 30000\n", 2, &error), nullptr);
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+  EXPECT_NE(error.find("conflicting duplicate"), std::string::npos) << error;
+  // Symmetric restatement conflicts through the mirrored cell too.
+  EXPECT_EQ(parse_king_matrix("0 1 20000\n1 0 30000\n", 2, &error), nullptr);
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+}
+
+TEST(KingLoader, IdenticalDuplicatePairsAreTolerated) {
+  std::string error;
+  auto model = parse_king_matrix(
+      "0 1 20000\n0 1 20000\n1 0 20000\n1 2 40000\n2 3 60000\n", 4, &error);
+  ASSERT_NE(model, nullptr) << error;
+  EXPECT_EQ(model->latency(0, 1), 10000);
+  // The repeats must not be double-counted in the median fallback:
+  // one-way samples are {10000, 20000, 30000}, median 20000.
+  EXPECT_EQ(model->latency(0, 3), 20000);
+}
+
+TEST(KingLoader, RejectsOverflowingRtt) {
+  std::string error;
+  // 2^63 does not fit SimTime (int64); must be a clear per-line error,
+  // not a garbage latency or a generic parse failure.
+  EXPECT_EQ(parse_king_matrix("0 1 9223372036854775808\n", 2, &error),
+            nullptr);
+  EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+  EXPECT_NE(error.find("overflows SimTime"), std::string::npos) << error;
+  // Max int64 itself still parses (and halves).
+  auto model = parse_king_matrix("0 1 9223372036854775806\n", 2, &error);
+  ASSERT_NE(model, nullptr) << error;
+  EXPECT_EQ(model->latency(0, 1), 4611686018427387903LL);
+}
+
+TEST(KingLoader, RejectsNonNumericRtt) {
+  std::string error;
+  EXPECT_EQ(parse_king_matrix("0 1 12ms\n", 2, &error), nullptr);
+  EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+}
+
 TEST(KingLoader, LoadsFromFile) {
   const char* path = "/tmp/lmk_king_test.txt";
   {
@@ -417,10 +461,102 @@ TEST(EventQueue, PropertyReversedTieOrderMatchesModelAcrossSeeds) {
   }
 }
 
+// kShuffled: same-timestamp events pop in a seeded permutation. Time
+// order still wins (every pop comes from the earliest pending
+// timestamp group), and re-runs with the same seeds are identical —
+// the property the lmk-sched explorer's tie-order swarm relies on.
+TEST(EventQueue, PropertyShuffledTieOrderPermutesWithinTimeGroups) {
+  for (std::uint64_t seed : {3ull, 17ull, 999ull, 0xfeedull}) {
+    std::vector<int> first_run;
+    for (int rerun = 0; rerun < 2; ++rerun) {
+      Rng rng(seed);
+      EventQueue q;
+      q.set_tie_break(TieBreak::kShuffled);
+      q.set_shuffle_seed(seed * 1000003);
+      std::vector<int> fired;
+      std::map<SimTime, std::multiset<int>> model;  // pending, by time
+      int next_id = 0;
+      SimTime floor = 0;
+      auto check_pop = [&](SimTime at) {
+        auto it = model.begin();
+        ASSERT_EQ(it->first, at);  // earliest pending timestamp group
+        auto hit = it->second.find(fired.back());
+        ASSERT_NE(hit, it->second.end())
+            << "popped an event from a later time group";
+        it->second.erase(hit);
+        if (it->second.empty()) model.erase(it);
+      };
+      for (int step = 0; step < 300; ++step) {
+        bool push = q.empty() || rng.below(3) != 0;
+        if (push) {
+          SimTime t = floor + static_cast<SimTime>(10 * rng.below(4));
+          int id = next_id++;
+          q.push(t, [&fired, id] { fired.push_back(id); },
+                 /*actor=*/rng.below(4));
+          model[t].insert(id);
+        } else {
+          SimTime at = 0;
+          q.pop(&at)();
+          floor = at;
+          check_pop(at);
+        }
+      }
+      while (!q.empty()) {
+        SimTime at = 0;
+        q.pop(&at)();
+        check_pop(at);
+      }
+      if (rerun == 0) {
+        first_run = fired;
+      } else {
+        EXPECT_EQ(fired, first_run) << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(EventQueue, ShuffledSeedsAreDeterministicAndDistinct) {
+  auto run = [](std::uint64_t shuffle_seed) {
+    EventQueue q;
+    q.set_tie_break(TieBreak::kShuffled);
+    q.set_shuffle_seed(shuffle_seed);
+    std::vector<int> fired;
+    for (int i = 0; i < 16; ++i) {
+      q.push(5, [&fired, i] { fired.push_back(i); });
+    }
+    for (int i = 16; i < 20; ++i) {
+      q.push(9, [&fired, i] { fired.push_back(i); });
+    }
+    while (!q.empty()) q.pop(nullptr)();
+    return fired;
+  };
+  std::vector<int> a = run(1);
+  std::vector<int> b = run(2);
+  EXPECT_EQ(a, run(1));  // same seed, same permutation
+  EXPECT_NE(a, b);       // different seeds perturb the tie order
+  // Both runs drain the t=5 group completely before t=9, whatever the
+  // permutation inside each group.
+  for (const std::vector<int>& r : {a, b}) {
+    std::vector<int> head(r.begin(), r.begin() + 16);
+    std::vector<int> tail(r.begin() + 16, r.end());
+    std::sort(head.begin(), head.end());
+    std::sort(tail.begin(), tail.end());
+    EXPECT_EQ(head, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10,
+                                      11, 12, 13, 14, 15}));
+    EXPECT_EQ(tail, (std::vector<int>{16, 17, 18, 19}));
+  }
+}
+
 TEST(EventQueueDeathTest, SetTieBreakRequiresEmptyQueue) {
   EventQueue q;
   q.push(1, [] {});
   EXPECT_DEATH(q.set_tie_break(TieBreak::kReversed), "empty");
+}
+
+TEST(EventQueueDeathTest, SetShuffleSeedRequiresEmptyQueue) {
+  EventQueue q;
+  q.push(1, [] {});
+  EXPECT_DEATH(q.set_shuffle_seed(7), "empty");
 }
 
 TEST(EventQueue, ClearThenReuseStartsFresh) {

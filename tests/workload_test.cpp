@@ -238,6 +238,7 @@ TEST(Corpus, IdfWeightingDownweightsCommonTerms) {
     for (const auto& e : d.entries()) ++df[e.term];
   }
   int max_df = 0, min_df = 1 << 30;
+  // lmk-lint: iteration-order-independent min/max are commutative
   for (const auto& [t, c] : df) {
     max_df = std::max(max_df, c);
     min_df = std::min(min_df, c);

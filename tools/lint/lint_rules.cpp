@@ -33,21 +33,28 @@ namespace {
 
 /// Every identifier token any rule cares about, sorted (ASCII) for
 /// binary search. Adding a rule means adding its tokens here.
-constexpr std::array<std::string_view, 41> kIndexedTokens = {
+constexpr std::array<std::string_view, 58> kIndexedTokens = {
     "EntryView",     "_Exit",          "abort",
-    "allocate",      "allocate_span",  "clock_gettime",
-    "default_random_engine",           "emplace",
-    "emplace_back",  "exit",           "for",
-    "function",      "getrandom",      "gettimeofday",
-    "gmtime",        "guarded_span",   "high_resolution_clock",
-    "localtime",     "make_shared",    "make_unique",
-    "map",           "minstd_rand",    "mt19937",
-    "mt19937_64",    "new",            "push_back",
-    "quick_exit",    "rand",           "random_device",
-    "reserve",       "set",            "srand",
-    "static",        "steady_clock",   "string",
-    "system_clock",  "thread_local",   "time",
-    "timespec_get",  "unordered_map",  "unordered_set",
+    "alive_count",   "alive_nodes",    "allocate",
+    "allocate_span", "below",          "bootstrap",
+    "clock_gettime", "default_random_engine",
+    "emplace",       "emplace_back",   "exit",
+    "exponential",   "fix_fingers",    "fix_neighbors",
+    "for",           "function",       "getrandom",
+    "gettimeofday",  "gmtime",         "guarded_span",
+    "high_resolution_clock",           "localtime",
+    "make_shared",   "make_unique",    "map",
+    "minstd_rand",   "mt19937",        "mt19937_64",
+    "new",           "next",           "normal",
+    "oracle_predecessor",              "oracle_successor",
+    "push_back",     "quick_exit",     "rand",
+    "random_device", "refresh_all_fingers",
+    "reserve",       "sample_indices", "schedule_after",
+    "schedule_at",   "set",            "shuffle",
+    "srand",         "static",         "steady_clock",
+    "string",        "system_clock",   "thread_local",
+    "time",          "timespec_get",   "uniform",
+    "unordered_map", "unordered_set",
 };
 
 class ScanIndex {
@@ -233,25 +240,27 @@ struct Suppressions {
   return s.substr(i, end - i);
 }
 
-/// Hot-path region byte ranges: marker comments `// lmk-hot-path` ...
-/// `// lmk-hot-path-end` in the raw text (markers live in comments, so
-/// the raw, unstripped text is scanned). An unclosed region runs to end
-/// of file; FileOptions.hot_path covers the whole file.
+/// Marked region byte ranges: marker comments `// <mark>` ...
+/// `// <mark>-end` in the raw text (markers live in comments, so the
+/// raw, unstripped text is scanned). An unclosed region runs to end of
+/// file; `whole_file` covers the whole file (the driver's curated
+/// lists). Shared by the hot-path (`lmk-hot-path`) and handler
+/// (`lmk-handler`) region families.
 [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>>
-collect_hot_regions(std::string_view raw, const FileOptions& opts) {
-  std::vector<std::pair<std::size_t, std::size_t>> hot;
-  if (opts.hot_path) {
-    hot.emplace_back(0, raw.size());
-    return hot;
+collect_marked_regions(std::string_view raw, std::string_view mark,
+                       bool whole_file) {
+  std::vector<std::pair<std::size_t, std::size_t>> regions;
+  if (whole_file) {
+    regions.emplace_back(0, raw.size());
+    return regions;
   }
-  static constexpr std::string_view kMark = "lmk-hot-path";
   std::size_t pos = 0;
   std::size_t open = std::string_view::npos;
-  while ((pos = raw.find(kMark, pos)) != std::string_view::npos) {
-    std::size_t after = pos + kMark.size();
+  while ((pos = raw.find(mark, pos)) != std::string_view::npos) {
+    std::size_t after = pos + mark.size();
     if (raw.compare(after, 4, "-end") == 0) {
       if (open != std::string_view::npos) {
-        hot.emplace_back(open, pos);
+        regions.emplace_back(open, pos);
         open = std::string_view::npos;
       }
       pos = after + 4;
@@ -260,14 +269,14 @@ collect_hot_regions(std::string_view raw, const FileOptions& opts) {
       pos = after;
     }
   }
-  if (open != std::string_view::npos) hot.emplace_back(open, raw.size());
-  return hot;
+  if (open != std::string_view::npos) regions.emplace_back(open, raw.size());
+  return regions;
 }
 
-[[nodiscard]] bool in_hot(
-    const std::vector<std::pair<std::size_t, std::size_t>>& hot,
+[[nodiscard]] bool in_region(
+    const std::vector<std::pair<std::size_t, std::size_t>>& regions,
     std::size_t pos) {
-  return std::any_of(hot.begin(), hot.end(), [pos](const auto& r) {
+  return std::any_of(regions.begin(), regions.end(), [pos](const auto& r) {
     return r.first <= pos && pos < r.second;
   });
 }
@@ -281,6 +290,7 @@ struct Ctx {
   const ScanIndex* idx = nullptr;
   const Suppressions* sup = nullptr;
   std::vector<std::pair<std::size_t, std::size_t>> hot;
+  std::vector<std::pair<std::size_t, std::size_t>> handler;
   std::vector<Finding>* findings = nullptr;
 
   void report(std::size_t pos, std::string_view rule,
@@ -333,7 +343,9 @@ void rule_banned_source(const Ctx& ctx) {
 // throughput and is exempt; the rng module keeps its blanket
 // exemption (it wraps host sources behind the seeded Rng).
 void rule_wall_clock(const Ctx& ctx) {
-  if (ctx.opts->rng_module || ctx.opts->bench) return;
+  if (ctx.opts->rng_module || ctx.opts->bench || ctx.opts->lint_module) {
+    return;  // the lint's own --stats harness times itself
+  }
   static constexpr std::array<std::string_view, 6> kClockTokens = {
       "system_clock",  "steady_clock", "high_resolution_clock",
       "clock_gettime", "gettimeofday", "timespec_get"};
@@ -737,7 +749,7 @@ void rule_hot_alloc(const Ctx& ctx) {
   const std::string_view stripped = ctx.stripped;
 
   for (std::size_t pos : ctx.idx->positions("new")) {
-    if (!in_hot(ctx.hot, pos)) continue;
+    if (!in_region(ctx.hot, pos)) continue;
     // `#include <new>`: the header name is not an expression.
     if (pos >= 1 && stripped[pos - 1] == '<') continue;
     std::size_t after = skip_ws(stripped, pos + 3);
@@ -752,7 +764,7 @@ void rule_hot_alloc(const Ctx& ctx) {
 
   for (std::string_view tok : {"make_unique", "make_shared"}) {
     for (std::size_t pos : ctx.idx->positions(tok)) {
-      if (!in_hot(ctx.hot, pos)) continue;
+      if (!in_region(ctx.hot, pos)) continue;
       ctx.report(pos, "hot-alloc",
                  "'" + std::string(tok) +
                      "' on a hot path heap-allocates per call; use the "
@@ -765,7 +777,7 @@ void rule_hot_alloc(const Ctx& ctx) {
   // pointers and template arguments do not construct and are skipped;
   // string_view is a different token and never matches.
   for (std::size_t pos : ctx.idx->positions("string")) {
-    if (!in_hot(ctx.hot, pos)) continue;
+    if (!in_region(ctx.hot, pos)) continue;
     if (pos < 5 || stripped.substr(pos - 5, 5) != "std::") continue;
     std::size_t after = skip_ws(stripped, pos + 6);
     if (after >= stripped.size()) continue;
@@ -799,7 +811,7 @@ void rule_hot_alloc(const Ctx& ctx) {
   }
   for (std::string_view tok : {"push_back", "emplace_back", "emplace"}) {
     for (std::size_t pos : ctx.idx->positions(tok)) {
-      if (!in_hot(ctx.hot, pos)) continue;
+      if (!in_region(ctx.hot, pos)) continue;
       std::size_t after = skip_ws(stripped, pos + tok.size());
       if (after >= stripped.size() || stripped[after] != '(') continue;
       std::string_view recv = member_receiver(stripped, pos);
@@ -824,7 +836,7 @@ void rule_hot_std_function(const Ctx& ctx) {
   if (ctx.hot.empty()) return;
   const std::string_view stripped = ctx.stripped;
   for (std::size_t pos : ctx.idx->positions("function")) {
-    if (!in_hot(ctx.hot, pos)) continue;
+    if (!in_region(ctx.hot, pos)) continue;
     if (pos < 5 || stripped.substr(pos - 5, 5) != "std::") continue;
     // `const std::function<...>&` parameters never construct — skip
     // when the declarator after the template arguments is a reference.
@@ -950,6 +962,97 @@ void rule_arena_escape(const Ctx& ctx) {
                      "store (key, object, owned point) or use "
                      "checked_view(), or justify with "
                      "// lmk-lint: allow(arena-escape)");
+    }
+  }
+}
+
+// --- handler discipline: cross-node-touch / unforked-rng /
+// --- raw-schedule (the lmk-sched gate's static half) ---
+// The fault-exploration gate (src/audit/explorer.*) can only perturb
+// what flows through Network::send. Code running inside a message
+// delivery must therefore look like a real peer: learn about other
+// nodes from messages, derive randomness from a node-local forked
+// stream, and cause remote effects only by sending. These rules police
+// the handler regions the driver curates (see lint_rules.hpp).
+
+void rule_cross_node_touch(const Ctx& ctx) {
+  if (ctx.handler.empty()) return;
+  // Ring-oracle entry points: each reads or repairs global membership
+  // state no single node could observe.
+  static constexpr std::array<std::string_view, 8> kOracle = {
+      "alive_count",        "alive_nodes",  "bootstrap",
+      "fix_fingers",        "fix_neighbors", "oracle_predecessor",
+      "oracle_successor",   "refresh_all_fingers"};
+  for (std::string_view tok : kOracle) {
+    for (std::size_t pos : ctx.idx->positions(tok)) {
+      if (!in_region(ctx.handler, pos)) continue;
+      std::size_t after = skip_ws(ctx.stripped, pos + tok.size());
+      if (after >= ctx.stripped.size() || ctx.stripped[after] != '(') {
+        continue;  // declaration / doc reference, not a call
+      }
+      ctx.report(pos, "cross-node-touch",
+                 "'" + std::string(tok) +
+                     "' inside a message handler reads or repairs global "
+                     "ring state no real node can see, and the lmk-sched "
+                     "fault explorer cannot perturb it; route the "
+                     "information through messages (Network::send / "
+                     "Ring::rpc), or justify an explicitly modeled "
+                     "out-of-band control plane with "
+                     "// lmk-lint: allow(cross-node-touch)");
+    }
+  }
+}
+
+void rule_unforked_rng(const Ctx& ctx) {
+  if (ctx.handler.empty()) return;
+  // Draw methods of lmk::Rng. fork() is deliberately absent: forking a
+  // node-local stream is the sanctioned pattern.
+  static constexpr std::array<std::string_view, 7> kDraws = {
+      "below",   "exponential",    "next",   "normal",
+      "shuffle", "sample_indices", "uniform"};
+  for (std::string_view tok : kDraws) {
+    for (std::size_t pos : ctx.idx->positions(tok)) {
+      if (!in_region(ctx.handler, pos)) continue;
+      std::size_t after = skip_ws(ctx.stripped, pos + tok.size());
+      if (after >= ctx.stripped.size() || ctx.stripped[after] != '(') {
+        continue;
+      }
+      std::string_view recv = member_receiver(ctx.stripped, pos);
+      // Shared stream = a member (trailing-underscore convention) whose
+      // name says it is an rng. Locals (typically fork()ed per node or
+      // per task) are fine.
+      if (recv.empty() || recv.back() != '_' ||
+          recv.find("rng") == std::string_view::npos) {
+        continue;
+      }
+      ctx.report(pos, "unforked-rng",
+                 "'" + std::string(recv) + "." + std::string(tok) +
+                     "' inside a message handler draws from a shared Rng "
+                     "stream, so the value depends on the delivery order "
+                     "of every earlier handler; fork() a node-local "
+                     "stream at setup and draw from that, or justify "
+                     "with // lmk-lint: allow(unforked-rng)");
+    }
+  }
+}
+
+void rule_raw_schedule(const Ctx& ctx) {
+  if (ctx.handler.empty()) return;
+  for (std::string_view tok : {"schedule_after", "schedule_at"}) {
+    for (std::size_t pos : ctx.idx->positions(tok)) {
+      if (!in_region(ctx.handler, pos)) continue;
+      std::size_t after = skip_ws(ctx.stripped, pos + tok.size());
+      if (after >= ctx.stripped.size() || ctx.stripped[after] != '(') {
+        continue;
+      }
+      ctx.report(pos, "raw-schedule",
+                 "'" + std::string(tok) +
+                     "' inside a message handler bypasses Network::send: "
+                     "no latency model applies and the lmk-sched fault "
+                     "injector can never drop, delay or reorder the "
+                     "event; send a message for inter-node effects, or "
+                     "justify a node-local timer with "
+                     "// lmk-lint: allow(raw-schedule)");
     }
   }
 }
@@ -1092,7 +1195,13 @@ std::vector<Finding> lint_source(std::string_view path,
   ctx.opts = &opts;
   ctx.idx = idx.get();
   ctx.sup = &sup;
-  ctx.hot = collect_hot_regions(content, opts);
+  // The lint module's own sources quote the marker strings they scan
+  // for, so region collection there would open phantom regions.
+  if (!opts.lint_module) {
+    ctx.hot = collect_marked_regions(content, "lmk-hot-path", opts.hot_path);
+    ctx.handler =
+        collect_marked_regions(content, "lmk-handler", opts.handler_file);
+  }
   ctx.findings = &findings;
 
   timed("banned-source", [&] { rule_banned_source(ctx); });
@@ -1104,6 +1213,9 @@ std::vector<Finding> lint_source(std::string_view path,
   timed("hot-alloc", [&] { rule_hot_alloc(ctx); });
   timed("hot-std-function", [&] { rule_hot_std_function(ctx); });
   timed("arena-escape", [&] { rule_arena_escape(ctx); });
+  timed("cross-node-touch", [&] { rule_cross_node_touch(ctx); });
+  timed("unforked-rng", [&] { rule_unforked_rng(ctx); });
+  timed("raw-schedule", [&] { rule_raw_schedule(ctx); });
 
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {

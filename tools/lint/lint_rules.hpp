@@ -91,6 +91,51 @@
 //                        justify with
 //                        `// lmk-lint: allow(hot-std-function)`.
 //
+// Handler-discipline rules (the schedule-exploration gate's static
+// half, DESIGN.md "Schedule exploration & fault injection"). The
+// lmk-sched explorer can only perturb what flows through
+// Network::send; code that runs *inside a message delivery* must
+// therefore behave like a real peer — no god's-eye reads of other
+// nodes, no shared RNG streams, no direct simulator scheduling. These
+// rules apply inside *handler regions*: whole files on the driver's
+// curated list (FileOptions.handler_file — the query routers and the
+// load balancer), or regions delimited in any file by a
+// `// lmk-handler` comment and closed by `// lmk-handler-end` (the
+// Chord protocol section of src/chord/ring.cpp).
+//
+//   cross-node-touch     A handler calls a ring-oracle entry point
+//                        (oracle_successor / oracle_predecessor /
+//                        alive_nodes / alive_count / bootstrap /
+//                        fix_neighbors / fix_fingers /
+//                        refresh_all_fingers): global state a real
+//                        node cannot see. Route the information
+//                        through messages (Network::send / Ring::rpc),
+//                        or justify with
+//                        `// lmk-lint: allow(cross-node-touch)` — the
+//                        expected justification is an explicitly
+//                        modeled out-of-band control plane.
+//
+//   unforked-rng         A handler draws (next / below / uniform /
+//                        normal / exponential / shuffle /
+//                        sample_indices) from a shared member Rng
+//                        (receiver spelled `*rng*_`): the stream's
+//                        draw order then depends on message delivery
+//                        order across nodes, so one reordered message
+//                        decorrelates every later draw. fork() a
+//                        node-local stream at setup time and draw from
+//                        that (fork() itself is exempt), or justify
+//                        with `// lmk-lint: allow(unforked-rng)`.
+//
+//   raw-schedule         A handler schedules directly on the
+//                        simulator (schedule_after / schedule_at):
+//                        the event bypasses Network::send, so no
+//                        latency model applies and the lmk-sched
+//                        fault injector can never drop, delay or
+//                        reorder it. Inter-node effects must be
+//                        messages; node-local timers need a
+//                        justification:
+//                        `// lmk-lint: allow(raw-schedule) <reason>`.
+//
 //   arena-escape         Arena-allocated memory escaping the
 //                        allocating scope (file-wide, not only hot
 //                        regions): `return`ing the result of
@@ -149,6 +194,15 @@ struct FileOptions {
   /// src/common/arena.*: defines the allocation entry points the
   /// arena-escape rule keys on, so it is exempt from that rule.
   bool arena_module = false;
+  /// Whole file is a message-handler region (driver's curated list:
+  /// the query routers, the load balancer). The handler-discipline
+  /// rules apply everywhere in it, no markers needed.
+  bool handler_file = false;
+  /// tools/lint itself: its sources quote the marker strings and
+  /// banned tokens they scan for, so region collection and the
+  /// wall-clock rule (the --stats harness times itself) are disabled.
+  /// Every token-level rule still applies.
+  bool lint_module = false;
   /// Companion-header text (X.hpp next to X.cpp): member variables are
   /// declared there, so its unordered-container declarations are folded
   /// into the iteration analysis of the .cpp, and its reserve() calls
