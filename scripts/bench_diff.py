@@ -30,7 +30,16 @@ behaviour change, not jitter:
     --arena-threshold (default 25%) of the baseline's (the batch-sized
     memory budget of the streaming insert path);
   * total bytes on the wire must not grow by more than
-    --wire-threshold (default 10%).
+    --wire-threshold (default 10%);
+  * recall@10 (deterministic sampled-oracle mean) must not fall below
+    --flagship-recall-floor (default 0.90) — an absolute floor, not a
+    ratio, so an approximate local store cannot silently trade recall
+    for speed;
+  * scanned entries per subquery must not grow by more than
+    --flagship-scan-threshold (default 50%) — compared only when the
+    baseline and current runs used the same "local_store" backend
+    (the scan profile is backend-specific; a deliberate backend switch
+    prints a skip note instead).
 
 The flagship gates are scale-matched: when the current run's "scale"
 section differs from the baseline's (e.g. an LMK_FULL run against the
@@ -189,12 +198,47 @@ def check_flagship(args, gate):
         print("bench_diff: flagship wire bytes missing on one side "
               "(skipped)")
 
-    # Informational: recall and queue depth travel with the same file.
-    base_recall = float(base.get("recall", {}).get("mean", -1))
-    cur_recall = float(cur.get("recall", {}).get("mean", -1))
-    if base_recall >= 0 and cur_recall >= 0:
+    # --- recall floor (deterministic sampled-oracle mean) ---
+    cur_recall = fnum(section(cur, "recall", args.flagship), "mean",
+                      args.flagship, default=-1.0)
+    base_recall = fnum(section(base, "recall", args.flagship_baseline),
+                       "mean", args.flagship_baseline, default=-1.0)
+    if cur_recall >= 0:
         print(f"bench_diff: flagship recall {cur_recall:.3f} vs baseline "
-              f"{base_recall:.3f} (informational)")
+              f"{base_recall:.3f} (floor {args.flagship_recall_floor:.2f})")
+        if cur_recall < args.flagship_recall_floor:
+            gate(f"flagship recall {cur_recall:.3f} fell below the "
+                 f"{args.flagship_recall_floor:.2f} floor — deterministic "
+                 f"metric, usually a local-store or refinement change")
+    else:
+        print("bench_diff: flagship recall missing (floor skipped)")
+
+    # --- scanned/subquery ceiling (per-node solve work) ---
+    # Only comparable when both runs used the same LocalStore backend:
+    # an intentional backend switch changes this number by design.
+    base_store = base.get("local_store")
+    cur_store = cur.get("local_store")
+    base_scan = fnum(base, "scanned_per_subquery", args.flagship_baseline)
+    cur_scan = fnum(cur, "scanned_per_subquery", args.flagship)
+    if base_store != cur_store:
+        print(f"bench_diff: flagship scanned/subquery gate skipped — "
+              f"local_store differs (baseline {base_store!r}, current "
+              f"{cur_store!r}); the scan profile is backend-specific")
+    elif base_scan > 0 and cur_scan > 0:
+        growth = cur_scan / base_scan
+        ceil = 1.0 + args.flagship_scan_threshold
+        print(f"bench_diff: flagship scanned/subquery {cur_scan:.1f} vs "
+              f"baseline {base_scan:.1f} ({growth:.2f}x, backend "
+              f"{cur_store!r})")
+        if growth > ceil:
+            gate(f"flagship scanned/subquery grew {growth:.2f}x over "
+                 f"baseline (ceiling {ceil:.2f}x) — deterministic work "
+                 f"metric, not noise")
+    else:
+        print("bench_diff: flagship scanned/subquery missing on one side "
+              "(skipped)")
+
+    # Informational: queue depth travels with the same file.
     base_q = base.get("queue", {}).get("max_depth")
     cur_q = cur.get("queue", {}).get("max_depth")
     if base_q is not None and cur_q is not None:
@@ -290,6 +334,12 @@ def main():
     ap.add_argument("--wire-threshold", type=float, default=0.10,
                     help="allowed fractional growth of flagship bytes "
                          "on the wire")
+    ap.add_argument("--flagship-recall-floor", type=float, default=0.90,
+                    help="minimum flagship recall@10 (deterministic "
+                         "sampled-oracle mean)")
+    ap.add_argument("--flagship-scan-threshold", type=float, default=0.50,
+                    help="allowed fractional growth of flagship scanned "
+                         "entries per subquery (same-backend runs only)")
     ap.add_argument("--flagship-only", action="store_true",
                     help="run only the flagship gates (for a CI leg that "
                          "produces no BENCH_perf.json)")

@@ -32,6 +32,21 @@ def perf_doc(alloc=None):
     return doc
 
 
+def flagship_doc(recall=0.95, scanned=70.0, store="sorted"):
+    """A minimal well-formed BENCH_flagship.json document."""
+    return {
+        "scale": {"nodes": 256, "objects": 20000},
+        "deterministic": {
+            "latency_ms": {"p99": 800.0},
+            "memory": {"arena_high_water": 1000000},
+            "wire": {"total_bytes": 5000000.0},
+            "recall": {"sampled": 25, "mean": recall},
+            "local_store": store,
+            "scanned_per_subquery": scanned,
+        },
+    }
+
+
 class BenchDiffTest(unittest.TestCase):
     def setUp(self):
         self.tmp = tempfile.TemporaryDirectory()
@@ -138,6 +153,59 @@ class BenchDiffTest(unittest.TestCase):
         proc = self.run_diff(base, cur)
         self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
         self.assertIn("alloc gate skipped", proc.stdout)
+
+    def run_flagship(self, baseline, current, *extra):
+        return subprocess.run(
+            [sys.executable, SCRIPT, "--flagship-only",
+             "--flagship-baseline", baseline, "--flagship", current,
+             *extra],
+            capture_output=True, text=True, check=False)
+
+    def test_flagship_matching_runs_pass(self):
+        base = self.write("fbase.json", flagship_doc())
+        cur = self.write("fcur.json", flagship_doc())
+        proc = self.run_flagship(base, cur)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("bench_diff: OK", proc.stdout)
+
+    def test_flagship_recall_floor_fails(self):
+        base = self.write("fbase.json", flagship_doc())
+        cur = self.write("fcur.json", flagship_doc(recall=0.62))
+        proc = self.run_flagship(base, cur)
+        self.assert_readable_failure(proc, "recall 0.620 fell below")
+
+    def test_flagship_recall_floor_is_tunable(self):
+        base = self.write("fbase.json", flagship_doc())
+        cur = self.write("fcur.json", flagship_doc(recall=0.62))
+        proc = self.run_flagship(base, cur, "--flagship-recall-floor",
+                                 "0.5")
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_flagship_scan_ceiling_fails_same_backend(self):
+        base = self.write("fbase.json", flagship_doc(scanned=70.0))
+        cur = self.write("fcur.json", flagship_doc(scanned=700.0))
+        proc = self.run_flagship(base, cur)
+        self.assert_readable_failure(proc, "scanned/subquery grew")
+
+    def test_flagship_scan_ceiling_skipped_on_backend_switch(self):
+        # Ten times the scan volume, but on a different backend: the
+        # profile is not comparable, so the gate must skip with a note
+        # instead of failing.
+        base = self.write("fbase.json", flagship_doc(scanned=70.0))
+        cur = self.write("fcur.json",
+                         flagship_doc(scanned=700.0, store="hnsw"))
+        proc = self.run_flagship(base, cur)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("local_store differs", proc.stdout)
+
+    def test_flagship_gates_skip_on_scale_mismatch(self):
+        base = self.write("fbase.json", flagship_doc())
+        doc = flagship_doc(recall=0.1, scanned=9999.0)
+        doc["scale"]["nodes"] = 10000
+        cur = self.write("fcur.json", doc)
+        proc = self.run_flagship(base, cur)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("scale mismatch", proc.stdout)
 
     def test_soft_regression_respects_warn_only(self):
         base = self.write("base.json", perf_doc())

@@ -28,6 +28,13 @@ IndexPlatform::IndexPlatform(Ring& ring, Options opts)
 
 std::uint32_t IndexPlatform::register_scheme(const std::string& name,
                                              Boundary boundary, bool rotate) {
+  return register_scheme(name, std::move(boundary), rotate,
+                         LocalStoreOptions::from_env());
+}
+
+std::uint32_t IndexPlatform::register_scheme(
+    const std::string& name, Boundary boundary, bool rotate,
+    const LocalStoreOptions& store_opts) {
   LMK_CHECK(!boundary.empty());
   auto scheme = std::make_unique<SchemeRouting>();
   scheme->scheme_id = static_cast<std::uint32_t>(schemes_.size());
@@ -36,8 +43,15 @@ std::uint32_t IndexPlatform::register_scheme(const std::string& name,
   scheme->query_message_bytes = query_message_size(scheme->boundary.size());
   schemes_.push_back(std::move(scheme));
   scheme_names_.push_back(name);
+  scheme_store_opts_.push_back(store_opts);
   // Existing stores grow a slot for the new scheme lazily via entries().
   return schemes_.back()->scheme_id;
+}
+
+const LocalStoreOptions& IndexPlatform::local_store_options(
+    std::uint32_t id) const {
+  LMK_CHECK(id < scheme_store_opts_.size());
+  return scheme_store_opts_[id];
 }
 
 void IndexPlatform::update_scheme_boundary(std::uint32_t id,
@@ -78,24 +92,17 @@ EntryStore& IndexPlatform::entries(const ChordNode& n, std::uint32_t scheme) {
   return ss.entries;
 }
 
-void IndexPlatform::ensure_order_index(SchemeStore& ss, std::size_t dims) {
-  if (ss.indexed_version == ss.version && ss.order.size() == dims) return;
-  ss.order.assign(dims, {});
-  const auto n = static_cast<std::uint32_t>(ss.entries.size());
-  for (std::size_t d = 0; d < dims; ++d) ss.order[d].reserve(n);
-  for (std::uint32_t i = 0; i < n; ++i) {
-    std::span<const double> p = ss.entries.point(i);
-    for (std::size_t d = 0; d < dims; ++d) {
-      ss.order[d].emplace_back(p[d], i);
-    }
+void IndexPlatform::ensure_local_store(SchemeStore& ss,
+                                       std::uint32_t scheme) {
+  if (ss.local == nullptr) {
+    ss.local = make_local_store(local_store_options(scheme));
+    ss.indexed_version = ~std::uint64_t{0};
   }
-  for (std::size_t d = 0; d < dims; ++d) {
-    // Pair order breaks value ties by entry index, so the scan order —
-    // and therefore the whole simulation — is independent of the sort
-    // algorithm's handling of equal values.
-    std::sort(ss.order[d].begin(), ss.order[d].end());
-  }
+  if (ss.indexed_version == ss.version) return;
+  ss.local->build(ss.entries);
   ss.indexed_version = ss.version;
+  ++local_store_stats_.rebuilds;
+  local_store_stats_.rebuilt_entries += ss.entries.size();
 }
 
 std::vector<ChordNode*> IndexPlatform::replica_nodes(Id key) const {
@@ -338,12 +345,12 @@ void IndexPlatform::on_solve(const RangeQuery& q, ChordNode& node) {
   // by true metric distance when the query carries a ranking function
   // (distributed refinement), else by the contractive L-inf lower bound.
   //
-  // Instead of scanning the whole store, binary-search each dimension's
-  // order index for the query range and walk only the most selective
-  // dimension's slice. The match SET is unchanged, and the scan order
-  // (dimension value, then entry index) is a pure function of store
-  // contents — the reply assembly downstream sorts and dedups by
-  // (object, score), so results stay byte-identical to a full scan.
+  // The probe itself is delegated to the scheme's LocalStore backend
+  // (sorted order indices, HNSW graph, or pivot table — see src/store/).
+  // Every backend surfaces hits in a deterministic order that is a pure
+  // function of store contents, and the reply assembly downstream sorts
+  // and dedups by (object, score), so results stay byte-identical per
+  // backend at any thread count.
   PendingReply& reply = pending_replies_[q.qid][&node];
   if (!reply.pooled) {
     // Fresh (query, node) reply: back its scored buffer with a pooled
@@ -353,48 +360,11 @@ void IndexPlatform::on_solve(const RangeQuery& q, ChordNode& node) {
   }
   std::uint64_t evaluated = 0;
   SchemeStore& ss = scheme_store(node, aq.scheme);
-  const std::size_t dims = scheme(aq.scheme).boundary.size();
-  ensure_order_index(ss, dims);
-  std::size_t best_d = 0;
-  std::size_t best_lo = 0;
-  std::size_t best_hi = 0;
-  std::size_t best_count = ss.entries.size() + 1;
-  for (std::size_t d = 0; d < dims; ++d) {
-    const auto& ord = ss.order[d];
-    const Interval& r = q.region.ranges[d];
-    auto lo = std::lower_bound(
-        ord.begin(), ord.end(), r.lo,
-        [](const std::pair<double, std::uint32_t>& p, double v) {
-          return p.first < v;
-        });
-    auto hi = std::upper_bound(
-        lo, ord.end(), r.hi,
-        [](double v, const std::pair<double, std::uint32_t>& p) {
-          return v < p.first;
-        });
-    auto count = static_cast<std::size_t>(hi - lo);
-    if (count < best_count) {
-      best_count = count;
-      best_d = d;
-      best_lo = static_cast<std::size_t>(lo - ord.begin());
-      best_hi = static_cast<std::size_t>(hi - ord.begin());
-    }
-  }
-  aq.outcome.scanned += best_count;
-  const auto& ord = ss.order[best_d];
-  for (std::size_t k = best_lo; k < best_hi; ++k) {
-    const std::size_t ei = ord[k].second;
+  ensure_local_store(ss, aq.scheme);
+  solve_hits_.clear();
+  aq.outcome.scanned += ss.local->range(ss.entries, q.region, solve_hits_);
+  for (const std::uint32_t ei : solve_hits_) {
     std::span<const double> pt = ss.entries.point(ei);
-    bool inside = true;
-    for (std::size_t d = 0; d < pt.size(); ++d) {
-      if (d == best_d) continue;  // the slice already satisfies best_d
-      const Interval& r = q.region.ranges[d];
-      if (pt[d] < r.lo || pt[d] > r.hi) {
-        inside = false;
-        break;
-      }
-    }
-    if (!inside) continue;
     ++evaluated;
     std::uint64_t object = ss.entries.object(ei);
     double score =
@@ -640,9 +610,7 @@ std::uint64_t IndexPlatform::store_bytes() const {
   for (const auto& [node, store] : stores_) {
     for (const auto& ss : store.per_scheme) {
       total += ss.entries.memory_bytes();
-      for (const auto& ord : ss.order) {
-        total += ord.capacity() * sizeof(std::pair<double, std::uint32_t>);
-      }
+      if (ss.local != nullptr) total += ss.local->memory_bytes();
     }
   }
   return total;

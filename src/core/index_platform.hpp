@@ -29,6 +29,7 @@
 #include "core/entry_store.hpp"
 #include "routing/naive.hpp"
 #include "routing/router.hpp"
+#include "store/local_store.hpp"
 
 namespace lmk {
 
@@ -106,9 +107,17 @@ class IndexPlatform {
   // ----- scheme registry -----
 
   /// Register an index scheme; returns its id. `rotate` applies the
-  /// static space-mapping rotation φ = hash(name) (§3.4).
+  /// static space-mapping rotation φ = hash(name) (§3.4). The scheme's
+  /// per-node local stores use the process default backend
+  /// (LocalStoreOptions::from_env, i.e. the LMK_LOCAL_STORE knob).
   std::uint32_t register_scheme(const std::string& name, Boundary boundary,
                                 bool rotate);
+
+  /// Register with explicit per-scheme local-store configuration
+  /// (overrides the LMK_LOCAL_STORE process default).
+  std::uint32_t register_scheme(const std::string& name, Boundary boundary,
+                                bool rotate,
+                                const LocalStoreOptions& store_opts);
 
   /// Replace a scheme's index-space boundary (same dimensionality) —
   /// part of re-indexing against a refreshed landmark set. The scheme's
@@ -199,9 +208,28 @@ class IndexPlatform {
 
   // ----- memory accounting -----
 
-  /// Resident heap bytes of all entry stores plus their order indices
-  /// (the SoA payload the flagship bench reports).
+  /// Resident heap bytes of all entry stores plus their local index
+  /// structures — order indices, HNSW adjacency, or pivot tables,
+  /// whichever backend each scheme runs (the payload the flagship bench
+  /// reports).
   [[nodiscard]] std::uint64_t store_bytes() const;
+
+  // ----- local stores -----
+
+  /// The local-store configuration scheme `id` was registered with.
+  [[nodiscard]] const LocalStoreOptions& local_store_options(
+      std::uint32_t id) const;
+
+  /// Backend name ("sorted" / "hnsw" / "pivot") for scheme `id`.
+  [[nodiscard]] const char* local_store_name(std::uint32_t id) const {
+    return local_store_kind_name(local_store_options(id).kind);
+  }
+
+  /// Cumulative local-store (re)build counters across all nodes and
+  /// schemes — migration/rotation churn shows up as extra rebuilds.
+  [[nodiscard]] const LocalStoreBuildStats& local_store_stats() const {
+    return local_store_stats_;
+  }
 
   /// Counters of the in-flight reply-buffer pool (one buffer per
   /// (query, node) reply under construction).
@@ -269,17 +297,17 @@ class IndexPlatform {
   void repair_replication();
 
  private:
-  /// One scheme's entries on one node, plus lazily rebuilt per-dimension
-  /// order indices. order[d] holds (point[d], entry index) sorted
-  /// ascending; on_solve binary-searches every dimension's index for
-  /// the query range, then scans only the most selective dimension's
-  /// slice instead of the whole store. Mutations just bump `version`;
-  /// the indices are rebuilt on the first solve that finds them stale
-  /// (stores churn in bursts between query batches, so one rebuild
-  /// amortizes over the whole batch).
+  /// One scheme's entries on one node, plus a lazily rebuilt LocalStore
+  /// (sorted order indices, HNSW graph, or pivot table — per-scheme
+  /// config). on_solve probes the LocalStore instead of scanning the
+  /// whole store. Mutations just bump `version`; the structure is
+  /// rebuilt on the first solve that finds it stale (stores churn in
+  /// bursts between query batches, so one rebuild amortizes over the
+  /// whole batch — this is also what keeps migration/rotation working
+  /// unchanged across every backend).
   struct SchemeStore {
     EntryStore entries;
-    std::vector<std::vector<std::pair<double, std::uint32_t>>> order;
+    std::unique_ptr<LocalStore> local;
     std::uint64_t version = 0;
     std::uint64_t indexed_version = ~std::uint64_t{0};
   };
@@ -321,10 +349,12 @@ class IndexPlatform {
   [[nodiscard]] std::vector<ChordNode*> replica_nodes(Id key) const;
   NodeStore& store_of(const ChordNode& n);
   SchemeStore& scheme_store(const ChordNode& n, std::uint32_t scheme);
-  /// Mutable entry store; bumps the store version so the order indices
-  /// rebuild before the next solve. All writers must come through here.
+  /// Mutable entry store; bumps the store version so the local store
+  /// rebuilds before the next solve. All writers must come through here.
   EntryStore& entries(const ChordNode& n, std::uint32_t scheme);
-  static void ensure_order_index(SchemeStore& ss, std::size_t dims);
+  /// Instantiate the scheme's configured backend on first use and
+  /// rebuild it if the entry store mutated since the last probe.
+  void ensure_local_store(SchemeStore& ss, std::uint32_t scheme);
   void on_solve(const RangeQuery& q, ChordNode& node);
   void flush_reply(std::uint64_t qid, ChordNode& node);
   void on_fanout(std::uint64_t qid, int delta);
@@ -335,6 +365,11 @@ class IndexPlatform {
   Options opts_;
   std::vector<std::unique_ptr<SchemeRouting>> schemes_;
   std::vector<std::string> scheme_names_;
+  std::vector<LocalStoreOptions> scheme_store_opts_;  // parallel to schemes_
+  LocalStoreBuildStats local_store_stats_;
+  /// on_solve scratch: entry indices the local store surfaced for the
+  /// current subquery. One buffer suffices — solves never nest.
+  std::vector<std::uint32_t> solve_hits_;
   // Lookup-only store map: every cross-node walk goes through ring
   // order (Ring::nodes), not this map.
   // lmk-lint: allow(pointer-key-unordered)

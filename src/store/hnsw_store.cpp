@@ -1,0 +1,313 @@
+#include "store/hnsw_store.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace lmk {
+
+namespace {
+
+// Hard ceiling on assigned levels. With mL = 1/ln(8) a level this high
+// has probability ~8^-24; the cap only bounds memory against adversarial
+// object ids, it never fires under the geometric distribution.
+constexpr int kMaxLevel = 24;
+
+}  // namespace
+
+HnswStore::HnswStore(const LocalStoreOptions& opts)
+    : m_(std::max<std::size_t>(std::size_t{2}, opts.hnsw_m)),
+      m0_(2 * m_),
+      ef_construction_(std::max(opts.hnsw_ef_construction, m0_)),
+      ef_search_(std::max<std::size_t>(std::size_t{1}, opts.hnsw_ef_search)),
+      seed_(opts.seed),
+      inv_log_m_(1.0 / std::log(static_cast<double>(m_))) {}
+
+int HnswStore::level_for_object(std::uint64_t object) const {
+  // Forked per-object stream: the level depends only on (seed, object),
+  // never on insertion order, store position, or a shared generator —
+  // that is what keeps a migrated entry at the same level on its new
+  // owner and makes rebuilds byte-identical.
+  Rng rng(mix64(seed_ ^ mix64(object)));
+  const double u = 1.0 - rng.uniform();  // (0, 1]
+  const int level = static_cast<int>(-std::log(u) * inv_log_m_);
+  return std::min(level, kMaxLevel);
+}
+
+std::vector<std::uint32_t>& HnswStore::links(std::uint32_t ei, int layer) {
+  return links_[ei][static_cast<std::size_t>(layer)];
+}
+
+// lmk-hot-path: distance/descend/search are the per-probe inner loops —
+// every range/knn subquery an index node answers funnels through here.
+double HnswStore::distance(const EntryStore& entries, std::uint32_t ei,
+                           std::span<const double> q) {
+  ++scanned_;
+  std::span<const double> p = entries.point(ei);
+  double dist = 0.0;
+  if (region_ != nullptr) {
+    // Range probe: L-inf distance to the query box (0 for any entry
+    // inside it). Guiding the walk by box distance instead of distance
+    // to the box centre makes every hit rank ahead of every non-hit,
+    // so the beam enumerates the box instead of a ball around its
+    // centre — the boxes the platform sends are cell-clipped and their
+    // centres routinely sit far from the matching entries.
+    for (std::size_t d = 0; d < p.size(); ++d) {
+      const Interval& r = region_->ranges[d];
+      dist = std::max({dist, r.lo - p[d], p[d] - r.hi});
+    }
+    return dist;
+  }
+  for (std::size_t d = 0; d < p.size(); ++d) {
+    dist = std::max(dist, std::abs(p[d] - q[d]));
+  }
+  return dist;
+}
+
+HnswStore::Scored HnswStore::descend_layer(const EntryStore& entries,
+                                           std::span<const double> q,
+                                           Scored from, int layer) {
+  // Greedy walk; neighbour lists are (distance, index)-selected at build
+  // time and traversed in stored order, so the path is deterministic.
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (std::uint32_t nb : links(from.second, layer)) {
+      Scored cand{distance(entries, nb, q), nb};
+      if (cand < from) {
+        from = cand;
+        improved = true;
+      }
+    }
+  }
+  return from;
+}
+
+void HnswStore::search_layer(const EntryStore& entries,
+                             std::span<const double> q, Scored from,
+                             std::size_t ef, int layer) {
+  if (++visit_epoch_ == 0) {  // epoch wrap: invalidate every stale mark
+    std::fill(visit_mark_.begin(), visit_mark_.end(), 0U);
+    visit_epoch_ = 1;
+  }
+  // cand_ is a min-heap of unexpanded candidates, found_ a max-heap of
+  // the best <= ef seen; both order by (distance, entry index) so ties
+  // resolve identically everywhere.
+  const auto closer = [](const Scored& a, const Scored& b) { return b < a; };
+  cand_.clear();
+  found_.clear();
+  visit_mark_[from.second] = visit_epoch_;
+  cand_.push_back(from);
+  found_.push_back(from);
+  while (!cand_.empty()) {
+    std::pop_heap(cand_.begin(), cand_.end(), closer);
+    const Scored cur = cand_.back();
+    cand_.pop_back();
+    if (found_.size() >= ef && found_.front() < cur) break;
+    for (std::uint32_t nb : links(cur.second, layer)) {
+      if (visit_mark_[nb] == visit_epoch_) continue;
+      visit_mark_[nb] = visit_epoch_;
+      const Scored cand{distance(entries, nb, q), nb};
+      if (found_.size() < ef || cand < found_.front()) {
+        cand_.push_back(cand);
+        std::push_heap(cand_.begin(), cand_.end(), closer);
+        found_.push_back(cand);
+        std::push_heap(found_.begin(), found_.end());
+        if (found_.size() > ef) {
+          std::pop_heap(found_.begin(), found_.end());
+          found_.pop_back();
+        }
+      }
+    }
+  }
+  std::sort_heap(found_.begin(), found_.end());
+}
+
+std::size_t HnswStore::range(const EntryStore& entries, const Region& region,
+                             std::vector<std::uint32_t>& out) {
+  scanned_ = 0;
+  if (size_ == 0) return 0;
+  // Box-guided probe: distance() measures to the box while region_ is
+  // set, so the descent homes in on the box and the beam fills with
+  // entries inside it (all at distance 0) before any outsider. The
+  // exact containment filter below keeps false positives out (the
+  // backend is approximate only through recall, never precision).
+  region_ = &region;
+  center_.clear();
+  center_.resize(region.ranges.size(), 0.0);  // unused in box mode
+  const std::span<const double> q{center_.data(), center_.size()};
+  Scored cur{distance(entries, entry_point_, q), entry_point_};
+  for (int l = max_level_; l > 0; --l) {
+    cur = descend_layer(entries, q, cur, l);
+  }
+  search_layer(entries, q, cur, ef_search_, 0);
+  region_ = nullptr;
+  out.reserve(out.size() + found_.size());
+  for (const Scored& s : found_) {
+    std::span<const double> pt = entries.point(s.second);
+    bool inside = true;
+    for (std::size_t d = 0; d < pt.size(); ++d) {
+      const Interval& r = region.ranges[d];
+      if (pt[d] < r.lo || pt[d] > r.hi) {
+        inside = false;
+        break;
+      }
+    }
+    if (inside) out.push_back(s.second);
+  }
+  return scanned_;
+}
+
+std::size_t HnswStore::knn(const EntryStore& entries,
+                           std::span<const double> focus, std::size_t k,
+                           std::vector<std::uint32_t>& out) {
+  scanned_ = 0;
+  if (k == 0 || size_ == 0) return 0;
+  Scored cur{distance(entries, entry_point_, focus), entry_point_};
+  for (int l = max_level_; l > 0; --l) {
+    cur = descend_layer(entries, focus, cur, l);
+  }
+  search_layer(entries, focus, cur, std::max(ef_search_, k), 0);
+  const std::size_t take = std::min(k, found_.size());
+  out.reserve(out.size() + take);
+  for (std::size_t t = 0; t < take; ++t) {
+    out.push_back(found_[t].second);
+  }
+  return scanned_;
+}
+// lmk-hot-path-end
+
+void HnswStore::build(const EntryStore& entries) {
+  const auto n = static_cast<std::uint32_t>(entries.size());
+  size_ = n;
+  max_level_ = -1;
+  entry_point_ = 0;
+  level_.assign(n, 0);
+  links_.assign(n, {});
+  visit_mark_.assign(n, 0U);
+  visit_epoch_ = 0;
+  cand_.reserve(ef_construction_ + m0_ + 1);
+  found_.reserve(ef_construction_ + m0_ + 1);
+  pool_.reserve(m0_ + 1);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const int lvl = level_for_object(entries.object(i));
+    level_[i] = lvl;
+    links_[i].resize(static_cast<std::size_t>(lvl) + 1);
+    for (int l = 0; l <= lvl; ++l) {
+      links(i, l).reserve((l == 0 ? m0_ : m_) + 1);
+    }
+    if (max_level_ < 0) {  // first entry seeds the graph
+      entry_point_ = i;
+      max_level_ = lvl;
+      continue;
+    }
+    const std::span<const double> q = entries.point(i);
+    Scored cur{distance(entries, entry_point_, q), entry_point_};
+    for (int l = max_level_; l > lvl; --l) {
+      cur = descend_layer(entries, q, cur, l);
+    }
+    for (int l = std::min(lvl, max_level_); l >= 0; --l) {
+      search_layer(entries, q, cur, ef_construction_, l);
+      cur = found_.front();
+      const std::size_t cap = (l == 0) ? m0_ : m_;
+      auto& mine = links(i, l);
+      const std::size_t take = std::min(cap, found_.size());
+      for (std::size_t t = 0; t < take; ++t) {
+        const std::uint32_t nb = found_[t].second;
+        mine.push_back(nb);
+        auto& theirs = links(nb, l);
+        theirs.push_back(i);
+        if (theirs.size() > cap) shrink_links(entries, nb, l, cap);
+      }
+    }
+    if (lvl > max_level_) {
+      max_level_ = lvl;
+      entry_point_ = i;
+    }
+  }
+  connect_components(entries);
+}
+
+void HnswStore::connect_components(const EntryStore& entries) {
+  // Closest-first neighbour selection never links across clusters that
+  // sit farther apart than any within-cluster pair, so layer 0 can come
+  // out as disconnected islands no beam width reaches. Flood layer 0
+  // from the entry point and bridge each unreached component to its
+  // nearest reached entry. Deterministic: components are seeded in
+  // index order and bridges chosen by (distance, index); the reached
+  // set a bridge is chosen against never depends on flood order.
+  if (size_ == 0) return;
+  std::vector<char> reached(size_, 0);
+  std::vector<std::uint32_t> stack;
+  auto flood = [&](std::uint32_t from) {
+    reached[from] = 1;
+    stack.push_back(from);
+    while (!stack.empty()) {
+      const std::uint32_t cur = stack.back();
+      stack.pop_back();
+      for (std::uint32_t nb : links(cur, 0)) {
+        if (reached[nb] == 0) {
+          reached[nb] = 1;
+          stack.push_back(nb);
+        }
+      }
+    }
+  };
+  flood(entry_point_);
+  for (std::uint32_t i = 0; i < size_; ++i) {
+    if (reached[i] != 0) continue;
+    const std::span<const double> p = entries.point(i);
+    Scored best{std::numeric_limits<double>::infinity(), 0};
+    for (std::uint32_t j = 0; j < size_; ++j) {
+      if (reached[j] == 0) continue;
+      const Scored cand{distance(entries, j, p), j};
+      if (cand < best) best = cand;
+    }
+    // The bridge is appended past the degree cap on purpose: shrinking
+    // by distance would immediately drop the one link that joins the
+    // components.
+    links(i, 0).push_back(best.second);
+    links(best.second, 0).push_back(i);
+    flood(i);
+  }
+}
+
+void HnswStore::shrink_links(const EntryStore& entries, std::uint32_t ei,
+                             int layer, std::size_t cap) {
+  // Keep the cap closest neighbours by (distance to ei, index): the same
+  // selection rule as construction, so the pruned list is deterministic.
+  const std::span<const double> p = entries.point(ei);
+  auto& list = links(ei, layer);
+  pool_.clear();
+  for (std::uint32_t nb : list) {
+    pool_.emplace_back(distance(entries, nb, p), nb);
+  }
+  std::sort(pool_.begin(), pool_.end());
+  list.clear();
+  for (std::size_t t = 0; t < cap; ++t) {
+    list.push_back(pool_[t].second);
+  }
+}
+
+std::size_t HnswStore::memory_bytes() const {
+  using Layer = std::vector<std::uint32_t>;
+  using PerEntry = std::vector<Layer>;
+  std::size_t bytes = level_.capacity() * sizeof(int);
+  bytes += links_.capacity() * sizeof(PerEntry);
+  for (const PerEntry& per : links_) {
+    bytes += per.capacity() * sizeof(Layer);
+    for (const Layer& layer : per) {
+      bytes += layer.capacity() * sizeof(std::uint32_t);
+    }
+  }
+  bytes += visit_mark_.capacity() * sizeof(std::uint32_t);
+  bytes += (cand_.capacity() + found_.capacity() + pool_.capacity()) *
+           sizeof(Scored);
+  bytes += center_.capacity() * sizeof(double);
+  return bytes;
+}
+
+}  // namespace lmk

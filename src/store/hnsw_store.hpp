@@ -1,0 +1,98 @@
+// Approximate LocalStore: hierarchical navigable small world graph over
+// the index points, searched under the index-space L-inf metric.
+//
+// Determinism pinning (the part that differs from textbook HNSW):
+//   * Level assignment is a pure function of (options seed, object id) —
+//     mix64-forked Rng, no shared stream — so an entry keeps its level
+//     across migrations, rotations, and rebuilds on any node.
+//   * Construction inserts entries in store order (itself deterministic:
+//     EntryStore mutations are order-preserving) and every candidate heap
+//     orders by (distance, entry index), so neighbour lists are unique.
+//   * Probes visit and emit in (distance, entry index) order.
+// Together these make range/knn results byte-identical at any
+// LMK_THREADS and stable across the migration protocol.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "store/local_store.hpp"
+
+namespace lmk {
+
+class HnswStore final : public LocalStore {
+ public:
+  explicit HnswStore(const LocalStoreOptions& opts);
+
+  [[nodiscard]] LocalStoreKind kind() const override {
+    return LocalStoreKind::kHnsw;
+  }
+  [[nodiscard]] bool exact() const override { return false; }
+
+  void build(const EntryStore& entries) override;
+  std::size_t range(const EntryStore& entries, const Region& region,
+                    std::vector<std::uint32_t>& out) override;
+  std::size_t knn(const EntryStore& entries, std::span<const double> focus,
+                  std::size_t k, std::vector<std::uint32_t>& out) override;
+  [[nodiscard]] std::size_t memory_bytes() const override;
+
+  /// Level the entry for `object` occupies in any build (determinism pin).
+  [[nodiscard]] int level_for_object(std::uint64_t object) const;
+
+ private:
+  using Scored = std::pair<double, std::uint32_t>;  // (distance, entry)
+
+  [[nodiscard]] double distance(const EntryStore& entries, std::uint32_t ei,
+                                std::span<const double> q);
+  [[nodiscard]] std::vector<std::uint32_t>& links(std::uint32_t ei,
+                                                  int layer);
+  /// Greedy descent on one layer: move to the closest neighbour until no
+  /// neighbour improves on (distance, index).
+  [[nodiscard]] Scored descend_layer(const EntryStore& entries,
+                                     std::span<const double> q, Scored from,
+                                     int layer);
+  /// Beam search on one layer; leaves the best <= ef candidates in
+  /// `found_` sorted ascending by (distance, index).
+  void search_layer(const EntryStore& entries, std::span<const double> q,
+                    Scored from, std::size_t ef, int layer);
+  /// Re-select the cap closest neighbours of `ei` on `layer` after a
+  /// reverse link pushed its list over capacity.
+  void shrink_links(const EntryStore& entries, std::uint32_t ei, int layer,
+                    std::size_t cap);
+  /// Bridge disconnected layer-0 components to their nearest reached
+  /// entry so every probe can reach every stored entry (build-time
+  /// repair; closest-first selection alone can strand far clusters).
+  void connect_components(const EntryStore& entries);
+
+  std::size_t m_;                // max neighbours, layers >= 1
+  std::size_t m0_;               // max neighbours, layer 0
+  std::size_t ef_construction_;
+  std::size_t ef_search_;
+  std::uint64_t seed_;
+  double inv_log_m_;             // level scale mL = 1 / ln(m)
+
+  std::size_t size_ = 0;
+  int max_level_ = -1;
+  std::uint32_t entry_point_ = 0;
+  std::vector<int> level_;       // per entry: top layer it occupies
+  // Adjacency, entry -> layer -> neighbour entries. Nested vectors keep
+  // rebuild simple; the whole structure is rebuilt wholesale on any
+  // store mutation, never patched.
+  std::vector<std::vector<std::vector<std::uint32_t>>> links_;
+
+  // Probe scratch, reserved in build so probes stay allocation-free once
+  // capacities warm up.
+  std::vector<std::uint32_t> visit_mark_;  // epoch stamp per entry
+  std::uint32_t visit_epoch_ = 0;
+  std::vector<Scored> cand_;     // min-heap (via negated comparator)
+  std::vector<Scored> found_;    // max-heap during search, sorted after
+  std::vector<Scored> pool_;     // neighbour-selection scratch
+  std::vector<double> center_;   // box-centre scratch for range probes
+  // Set for the duration of a range probe: distance() measures to the
+  // box (0 inside), so hits rank first in every heap. Null during build
+  // and knn, where distance() measures to the query point.
+  const Region* region_ = nullptr;
+  std::size_t scanned_ = 0;      // distance evaluations this probe
+};
+
+}  // namespace lmk

@@ -1,0 +1,67 @@
+#include "store/local_store.hpp"
+
+#include <cstdlib>
+
+#include "common/check.hpp"
+#include "store/hnsw_store.hpp"
+#include "store/pivot_store.hpp"
+#include "store/sorted_store.hpp"
+
+namespace lmk {
+
+const char* local_store_kind_name(LocalStoreKind kind) {
+  switch (kind) {
+    case LocalStoreKind::kSorted:
+      return "sorted";
+    case LocalStoreKind::kHnsw:
+      return "hnsw";
+    case LocalStoreKind::kPivot:
+      return "pivot";
+  }
+  LMK_CHECK_MSG(false, "invalid LocalStoreKind");
+  return "?";
+}
+
+bool parse_local_store_kind(std::string_view name, LocalStoreKind* out) {
+  if (name == "sorted") {
+    *out = LocalStoreKind::kSorted;
+    return true;
+  }
+  if (name == "hnsw") {
+    *out = LocalStoreKind::kHnsw;
+    return true;
+  }
+  if (name == "pivot") {
+    *out = LocalStoreKind::kPivot;
+    return true;
+  }
+  return false;
+}
+
+LocalStoreOptions LocalStoreOptions::from_env() {
+  LocalStoreOptions opts;
+  // Configuration input, not entropy: the same environment always yields
+  // the same backend, and CI pins it explicitly per leg.
+  const char* env = std::getenv("LMK_LOCAL_STORE");
+  if (env != nullptr && *env != '\0') {
+    LMK_CHECK_MSG(parse_local_store_kind(env, &opts.kind),
+                  "LMK_LOCAL_STORE must be sorted|hnsw|pivot, got \"%s\"",
+                  env);
+  }
+  return opts;
+}
+
+std::unique_ptr<LocalStore> make_local_store(const LocalStoreOptions& opts) {
+  switch (opts.kind) {
+    case LocalStoreKind::kSorted:
+      return std::make_unique<SortedStore>();
+    case LocalStoreKind::kHnsw:
+      return std::make_unique<HnswStore>(opts);
+    case LocalStoreKind::kPivot:
+      return std::make_unique<PivotStore>(opts);
+  }
+  LMK_CHECK_MSG(false, "invalid LocalStoreKind");
+  return nullptr;
+}
+
+}  // namespace lmk

@@ -1,0 +1,167 @@
+#include "store/pivot_store.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace lmk {
+
+namespace {
+
+// Absolute slack added to every pruning cut. The stored pivot distances
+// and the query-to-pivot distances are each rounded to nearest double,
+// so the computed bound can exceed the true distance by a few ulp; with
+// coordinates up to ~1e6 that error is < 1e-9, and admitting that much
+// extra keeps pruning strictly conservative — exactness is never traded
+// for pruning power.
+constexpr double kSlack = 1e-9;
+
+double linf(std::span<const double> a, std::span<const double> b) {
+  double dist = 0.0;
+  for (std::size_t d = 0; d < a.size(); ++d) {
+    dist = std::max(dist, std::abs(a[d] - b[d]));
+  }
+  return dist;
+}
+
+}  // namespace
+
+PivotStore::PivotStore(const LocalStoreOptions& opts)
+    : pivots_requested_(std::max<std::size_t>(std::size_t{1}, opts.pivots)) {}
+
+void PivotStore::build(const EntryStore& entries) {
+  n_ = entries.size();
+  p_ = std::min(pivots_requested_, n_);
+  pivots_.clear();
+  pivots_.reserve(p_);
+  table_.assign(p_ * n_, 0.0);
+  dq_.assign(p_, 0.0);
+  center_.clear();
+  center_.reserve(entries.dims());
+  best_.reserve(64);
+  if (p_ == 0) return;
+  // Farthest-first pivot selection seeded at entry 0, ties broken by the
+  // lowest entry index: a pure function of store contents, so rebuilds
+  // pick the same pivots everywhere. Spread-out pivots give the
+  // triangle-inequality bounds their discriminating power.
+  std::vector<double> mind(n_, std::numeric_limits<double>::infinity());
+  std::uint32_t next = 0;
+  for (std::size_t j = 0; j < p_; ++j) {
+    pivots_.push_back(next);
+    const std::span<const double> pj = entries.point(next);
+    double far_dist = -1.0;
+    std::uint32_t far_idx = 0;
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      const double dist = linf(pj, entries.point(i));
+      table_[j * n_ + i] = dist;
+      if (dist < mind[i]) mind[i] = dist;
+      if (mind[i] > far_dist) {
+        far_dist = mind[i];
+        far_idx = i;
+      }
+    }
+    next = far_idx;
+  }
+}
+
+double PivotStore::lower_bound(std::uint32_t i, double cut) const {
+  double bound = 0.0;
+  for (std::size_t j = 0; j < p_; ++j) {
+    const double diff = std::abs(table_[j * n_ + i] - dq_[j]);
+    if (diff > bound) {
+      bound = diff;
+      if (bound > cut) break;  // already prunable; no need to tighten
+    }
+  }
+  return bound;
+}
+
+// lmk-hot-path: range/knn run once per subquery per index node; the
+// pivot loop prunes most entries before any coordinate load.
+std::size_t PivotStore::range(const EntryStore& entries, const Region& region,
+                              std::vector<std::uint32_t>& out) {
+  if (n_ == 0) return 0;
+  // Cover the closed box with the L-inf ball around its centre. The
+  // radius uses the rounded centre actually computed, so every box point
+  // is inside the ball even after floating-point rounding (monotonicity
+  // of rounded subtraction), and pruning stays conservative.
+  center_.clear();
+  double r_cover = 0.0;
+  for (const Interval& r : region.ranges) {
+    const double mid = 0.5 * (r.lo + r.hi);
+    center_.push_back(mid);
+    r_cover = std::max(r_cover, std::max(r.hi - mid, mid - r.lo));
+  }
+  const std::span<const double> q{center_.data(), center_.size()};
+  for (std::size_t j = 0; j < p_; ++j) {
+    dq_[j] = linf(q, entries.point(pivots_[j]));
+  }
+  const double cut = r_cover + kSlack;
+  std::size_t scanned = p_;  // pivot coordinates were examined
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    if (lower_bound(i, cut) > cut) continue;
+    ++scanned;
+    std::span<const double> pt = entries.point(i);
+    bool inside = true;
+    for (std::size_t d = 0; d < pt.size(); ++d) {
+      const Interval& r = region.ranges[d];
+      if (pt[d] < r.lo || pt[d] > r.hi) {
+        inside = false;
+        break;
+      }
+    }
+    if (!inside) continue;
+    // Caller-owned hit buffer; capacity survives across probes.
+    // lmk-lint: allow(hot-alloc) pooled-buffer capacity warmup
+    out.push_back(i);
+  }
+  return scanned;
+}
+
+std::size_t PivotStore::knn(const EntryStore& entries,
+                            std::span<const double> focus, std::size_t k,
+                            std::vector<std::uint32_t>& out) {
+  if (k == 0 || n_ == 0) return 0;
+  for (std::size_t j = 0; j < p_; ++j) {
+    dq_[j] = linf(focus, entries.point(pivots_[j]));
+  }
+  std::size_t scanned = p_;
+  best_.clear();
+  // Max-heap of the best k (distance, index) pairs; an entry is skipped
+  // without touching coordinates when its bound proves it cannot beat
+  // the current worst. Skips require a full heap and a strictly larger
+  // bound, so boundary ties still get their exact check.
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    const bool full = best_.size() >= k;
+    const double worst =
+        full ? best_.front().first : std::numeric_limits<double>::infinity();
+    if (full && lower_bound(i, worst + kSlack) > worst + kSlack) continue;
+    ++scanned;
+    const double dist = linf(focus, entries.point(i));
+    const std::pair<double, std::uint32_t> cand{dist, i};
+    if (!full) {
+      best_.push_back(cand);
+      std::push_heap(best_.begin(), best_.end());
+    } else if (cand < best_.front()) {
+      std::pop_heap(best_.begin(), best_.end());
+      best_.back() = cand;
+      std::push_heap(best_.begin(), best_.end());
+    }
+  }
+  std::sort_heap(best_.begin(), best_.end());
+  out.reserve(out.size() + best_.size());
+  for (const auto& [dist, ei] : best_) out.push_back(ei);
+  return scanned;
+}
+// lmk-hot-path-end
+
+std::size_t PivotStore::memory_bytes() const {
+  std::size_t bytes = pivots_.capacity() * sizeof(std::uint32_t);
+  bytes += table_.capacity() * sizeof(double);
+  bytes += dq_.capacity() * sizeof(double);
+  bytes += center_.capacity() * sizeof(double);
+  bytes += best_.capacity() * sizeof(std::pair<double, std::uint32_t>);
+  return bytes;
+}
+
+}  // namespace lmk

@@ -1,0 +1,59 @@
+// Exact LocalStore: LAESA-style pivot table. Build picks a deterministic
+// farthest-first pivot set and precomputes the L-inf distance from every
+// pivot to every entry. A probe computes the query's distance to each
+// pivot once; the triangle inequality then lower-bounds every entry's
+// distance as max_j |d(pivot_j, entry) - d(pivot_j, query)|, and entries
+// whose bound exceeds the query radius are pruned without touching their
+// coordinates. Survivors get an exact containment (or distance) check,
+// so results are identical to a full scan — only `scanned` shrinks.
+//
+// The pivot table needs nothing from the coordinates beyond the metric
+// itself, which is what makes this the backend of choice for black-box
+// metrics (Levenshtein, Hausdorff) where per-dimension sorting and graph
+// navigation have no geometry to exploit.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "store/local_store.hpp"
+
+namespace lmk {
+
+class PivotStore final : public LocalStore {
+ public:
+  explicit PivotStore(const LocalStoreOptions& opts);
+
+  [[nodiscard]] LocalStoreKind kind() const override {
+    return LocalStoreKind::kPivot;
+  }
+  [[nodiscard]] bool exact() const override { return true; }
+
+  void build(const EntryStore& entries) override;
+  std::size_t range(const EntryStore& entries, const Region& region,
+                    std::vector<std::uint32_t>& out) override;
+  std::size_t knn(const EntryStore& entries, std::span<const double> focus,
+                  std::size_t k, std::vector<std::uint32_t>& out) override;
+  [[nodiscard]] std::size_t memory_bytes() const override;
+
+  /// Entry indices chosen as pivots by the last build (test hook).
+  [[nodiscard]] const std::vector<std::uint32_t>& pivot_entries() const {
+    return pivots_;
+  }
+
+ private:
+  /// Triangle-inequality lower bound on d(query, entry i) given the
+  /// query-to-pivot distances in `dq_`. Early-outs once above `cut`.
+  [[nodiscard]] double lower_bound(std::uint32_t i, double cut) const;
+
+  std::size_t pivots_requested_;
+  std::size_t n_ = 0;
+  std::size_t p_ = 0;                    // pivots actually used (<= n_)
+  std::vector<std::uint32_t> pivots_;    // pivot entry indices
+  std::vector<double> table_;            // p_ x n_ row-major pivot dists
+  std::vector<double> dq_;               // scratch: query-to-pivot dists
+  std::vector<double> center_;           // scratch: range box centre
+  std::vector<std::pair<double, std::uint32_t>> best_;  // knn scratch
+};
+
+}  // namespace lmk

@@ -1,0 +1,119 @@
+#include "store/sorted_store.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lmk {
+
+void SortedStore::build(const EntryStore& entries) {
+  const std::size_t dims = entries.dims();
+  order_.assign(dims, {});
+  const auto n = static_cast<std::uint32_t>(entries.size());
+  for (std::size_t d = 0; d < dims; ++d) order_[d].reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::span<const double> p = entries.point(i);
+    for (std::size_t d = 0; d < dims; ++d) {
+      order_[d].emplace_back(p[d], i);
+    }
+  }
+  for (std::size_t d = 0; d < dims; ++d) {
+    std::sort(order_[d].begin(), order_[d].end());
+  }
+  best_.reserve(64);
+}
+
+// lmk-hot-path: range runs once per subquery per index node — the
+// per-event cost of the whole query storm. The alloc-guard bench gate
+// holds the solver path to zero steady-state allocations.
+std::size_t SortedStore::range(const EntryStore& entries, const Region& region,
+                               std::vector<std::uint32_t>& out) {
+  // An empty store indexes zero dimensions; nothing can match.
+  if (order_.empty()) return 0;
+  const std::size_t dims = order_.size();
+  std::size_t best_d = 0;
+  std::size_t best_lo = 0;
+  std::size_t best_hi = 0;
+  std::size_t best_count = entries.size() + 1;
+  for (std::size_t d = 0; d < dims; ++d) {
+    const auto& ord = order_[d];
+    const Interval& r = region.ranges[d];
+    auto lo = std::lower_bound(
+        ord.begin(), ord.end(), r.lo,
+        [](const std::pair<double, std::uint32_t>& p, double v) {
+          return p.first < v;
+        });
+    auto hi = std::upper_bound(
+        lo, ord.end(), r.hi,
+        [](double v, const std::pair<double, std::uint32_t>& p) {
+          return v < p.first;
+        });
+    auto count = static_cast<std::size_t>(hi - lo);
+    if (count < best_count) {
+      best_count = count;
+      best_d = d;
+      best_lo = static_cast<std::size_t>(lo - ord.begin());
+      best_hi = static_cast<std::size_t>(hi - ord.begin());
+    }
+  }
+  const auto& ord = order_[best_d];
+  for (std::size_t k = best_lo; k < best_hi; ++k) {
+    const std::uint32_t ei = ord[k].second;
+    std::span<const double> pt = entries.point(ei);
+    bool inside = true;
+    for (std::size_t d = 0; d < pt.size(); ++d) {
+      if (d == best_d) continue;  // the slice already satisfies best_d
+      const Interval& r = region.ranges[d];
+      if (pt[d] < r.lo || pt[d] > r.hi) {
+        inside = false;
+        break;
+      }
+    }
+    if (!inside) continue;
+    // Caller-owned hit buffer; capacity survives across probes.
+    // lmk-lint: allow(hot-alloc) pooled-buffer capacity warmup
+    out.push_back(ei);
+  }
+  return best_count;
+}
+
+std::size_t SortedStore::knn(const EntryStore& entries,
+                             std::span<const double> focus, std::size_t k,
+                             std::vector<std::uint32_t>& out) {
+  const auto n = static_cast<std::uint32_t>(entries.size());
+  if (k == 0 || n == 0) return 0;
+  best_.clear();
+  // Max-heap on (distance, entry index): the top is the worst of the
+  // current best k, ejected whenever a strictly better pair arrives.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::span<const double> p = entries.point(i);
+    double dist = 0.0;
+    for (std::size_t d = 0; d < p.size(); ++d) {
+      dist = std::max(dist, std::abs(p[d] - focus[d]));
+    }
+    const std::pair<double, std::uint32_t> cand{dist, i};
+    if (best_.size() < k) {
+      best_.push_back(cand);
+      std::push_heap(best_.begin(), best_.end());
+    } else if (cand < best_.front()) {
+      std::pop_heap(best_.begin(), best_.end());
+      best_.back() = cand;
+      std::push_heap(best_.begin(), best_.end());
+    }
+  }
+  std::sort_heap(best_.begin(), best_.end());
+  out.reserve(out.size() + best_.size());
+  for (const auto& [dist, ei] : best_) out.push_back(ei);
+  return n;
+}
+// lmk-hot-path-end
+
+std::size_t SortedStore::memory_bytes() const {
+  std::size_t bytes = order_.capacity() * sizeof(order_[0]);
+  for (const auto& ord : order_) {
+    bytes += ord.capacity() * sizeof(std::pair<double, std::uint32_t>);
+  }
+  bytes += best_.capacity() * sizeof(std::pair<double, std::uint32_t>);
+  return bytes;
+}
+
+}  // namespace lmk

@@ -1,0 +1,37 @@
+// Baseline LocalStore: per-dimension sorted order indices (the pre-PR-9
+// solver structure, re-homed behind the interface). Exact; range probes
+// binary-search every dimension and walk only the most selective slice.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "store/local_store.hpp"
+
+namespace lmk {
+
+class SortedStore final : public LocalStore {
+ public:
+  [[nodiscard]] LocalStoreKind kind() const override {
+    return LocalStoreKind::kSorted;
+  }
+  [[nodiscard]] bool exact() const override { return true; }
+
+  void build(const EntryStore& entries) override;
+  std::size_t range(const EntryStore& entries, const Region& region,
+                    std::vector<std::uint32_t>& out) override;
+  std::size_t knn(const EntryStore& entries, std::span<const double> focus,
+                  std::size_t k, std::vector<std::uint32_t>& out) override;
+  [[nodiscard]] std::size_t memory_bytes() const override;
+
+ private:
+  // order_[d] holds (coordinate d, entry index) sorted ascending; the
+  // pair order breaks value ties by entry index, so the scan order — and
+  // therefore the whole simulation — is independent of the sort
+  // algorithm's handling of equal values.
+  std::vector<std::vector<std::pair<double, std::uint32_t>>> order_;
+  // knn scratch: (distance, entry index) max-heap of the current best k.
+  std::vector<std::pair<double, std::uint32_t>> best_;
+};
+
+}  // namespace lmk
