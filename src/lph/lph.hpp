@@ -11,6 +11,7 @@
 // mapping turns into placement on the same or neighbouring nodes.
 #pragma once
 
+#include <algorithm>
 #include <span>
 #include <vector>
 
@@ -83,5 +84,21 @@ void clamp_region(Region& region, const Boundary& boundary);
 /// The cube of edge 2r centred on `center` (a near-neighbour query's
 /// index-space region before clamping).
 [[nodiscard]] Region query_region(const IndexPoint& center, double radius);
+
+/// L∞ distance from `point` to the axis-aligned box (0 for any point
+/// inside it, closed-interval semantics). Shared by the HNSW box-guided
+/// range beam (src/store/hnsw_store.cpp) and the serving layer's
+/// coverage-based cache invalidation (src/serve/): a mutated entry
+/// whose point is at distance 0 from a cached query region covers it,
+/// so the cached hit-list must be dropped.
+[[nodiscard]] inline double linf_box_distance(std::span<const double> point,
+                                              const Region& box) {
+  double dist = 0.0;
+  for (std::size_t d = 0; d < point.size(); ++d) {
+    const Interval& r = box.ranges[d];
+    dist = std::max({dist, r.lo - point[d], point[d] - r.hi});
+  }
+  return dist;
+}
 
 }  // namespace lmk

@@ -1,0 +1,115 @@
+// Serving-layer configuration and per-node serving state (ROADMAP
+// item 4): hot-result caches, the router's cross-query coalescing
+// window, and load-aware admission control. IndexPlatform owns one
+// ServeState when any knob is enabled; everything is off by default so
+// the fig2/fig3 pipelines stay byte-identical.
+//
+// All knobs are env-driven (`LMK_SERVE_*`) so any bench or test can
+// switch the serving tier on without code changes:
+//
+//   LMK_SERVE_CACHE=1             enable per-node hot-result caches
+//   LMK_SERVE_CACHE_SLOTS=64      LRU slot budget per (node, scheme)
+//   LMK_SERVE_CACHE_MAX_ENTRIES=256  largest hit-list worth caching
+//   LMK_SERVE_CACHE_TTL_MS=0      virtual-time expiry (0 = none)
+//   LMK_SERVE_WINDOW_MS=0         router coalescing window Δt
+//   LMK_SERVE_QUEUE_LIMIT=0       admission threshold (0 = off)
+//   LMK_SERVE_SERVICE_US=0        modeled per-subquery service time
+//   LMK_SERVE_BACKOFF_MS=5        origin retry-after base (doubles)
+//   LMK_SERVE_MAX_RETRIES=8       shed ceiling before the drop
+//   LMK_SERVE_VERIFY=1            re-solve every cache hit (oracle)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/latency_model.hpp"
+#include "serve/result_cache.hpp"
+
+namespace lmk {
+
+struct ServeOptions {
+  bool cache_enabled = false;
+  std::size_t cache_slots = 64;
+  std::size_t cache_max_entries = 256;
+  SimTime cache_ttl = 0;       ///< 0 = no TTL
+  SimTime coalesce_window = 0; ///< 0 = per-episode flush (unchanged)
+  std::uint32_t queue_limit = 0;  ///< solve-queue depth; 0 = admission off
+  SimTime service_time = 0;    ///< modeled per-subquery solve occupancy
+  SimTime backoff = 0;         ///< retry-after base; set by from_env
+  /// Sheds a subquery absorbs before the still-saturated node drops it
+  /// (load shedding proper: the query completes without that node's
+  /// hits, recorded in QueryOutcome::lost_subqueries).
+  int max_retries = 8;
+  bool verify_hits = false;    ///< cross-check cache hits vs. a re-solve
+
+  [[nodiscard]] bool cache_on() const {
+    return cache_enabled && cache_slots > 0;
+  }
+  [[nodiscard]] bool admission_on() const { return queue_limit > 0; }
+  [[nodiscard]] bool any_enabled() const {
+    return cache_on() || admission_on() || coalesce_window > 0 ||
+           service_time > 0;
+  }
+
+  /// Read every LMK_SERVE_* knob (missing = the defaults above, with
+  /// backoff defaulting to 5 ms). Configuration, not entropy: the same
+  /// environment always yields the same options.
+  [[nodiscard]] static ServeOptions from_env();
+};
+
+/// Serving-tier counters aggregated across nodes (cache stats live in
+/// the per-node caches and are summed on demand).
+struct ServeStats {
+  std::uint64_t shed = 0;           ///< subqueries bounced to the origin
+  std::uint64_t retries = 0;        ///< retry dispatches scheduled
+  std::uint64_t retry_drops = 0;    ///< retries abandoned (origin died)
+  std::uint64_t dropped = 0;        ///< retry ceiling reached, dropped
+  std::uint64_t forced_admits = 0;  ///< naive routing: cannot shed
+  std::uint64_t enqueued = 0;       ///< subqueries through the queue
+  std::uint64_t verified_hits = 0;  ///< cache hits oracle-checked
+};
+
+/// Per-node serving state: result caches (one per scheme) plus the
+/// admission queue gauge. Indexed by HostId; only events tagged with
+/// that host touch a node's slot, so the state needs no locking and
+/// stays deterministic at any LMK_THREADS.
+class ServeState {
+ public:
+  struct NodeServe {
+    std::vector<ResultCache> per_scheme;
+    std::uint32_t queue = 0;     ///< admitted but unfinished solves
+    SimTime busy_until = 0;      ///< end of the last scheduled solve
+    std::uint32_t peak_queue = 0;
+  };
+
+  explicit ServeState(ServeOptions opts) : opts_(opts) {}
+
+  [[nodiscard]] const ServeOptions& options() const { return opts_; }
+
+  /// The node's serving slot, growing the table on first touch.
+  [[nodiscard]] NodeServe& node(HostId host);
+
+  /// The node's cache for one scheme (growing both tables on demand).
+  [[nodiscard]] ResultCache& cache(HostId host, std::uint32_t scheme);
+
+  /// Coverage invalidation fan-in for one mutated point.
+  void invalidate_point(HostId host, std::uint32_t scheme,
+                        std::span<const double> point);
+
+  /// Conservative wipe of one (node, scheme) cache — bulk moves.
+  void invalidate_scheme(HostId host, std::uint32_t scheme);
+
+  [[nodiscard]] ServeStats& stats() { return stats_; }
+  [[nodiscard]] const ServeStats& stats() const { return stats_; }
+
+  /// Sum of every per-(node, scheme) cache's counters.
+  [[nodiscard]] CacheStats aggregate_cache_stats() const;
+
+ private:
+  ServeOptions opts_;
+  std::vector<NodeServe> nodes_;  // indexed by HostId
+  ServeStats stats_;
+};
+
+}  // namespace lmk

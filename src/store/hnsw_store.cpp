@@ -55,11 +55,7 @@ double HnswStore::distance(const EntryStore& entries, std::uint32_t ei,
     // so the beam enumerates the box instead of a ball around its
     // centre — the boxes the platform sends are cell-clipped and their
     // centres routinely sit far from the matching entries.
-    for (std::size_t d = 0; d < p.size(); ++d) {
-      const Interval& r = region_->ranges[d];
-      dist = std::max({dist, r.lo - p[d], p[d] - r.hi});
-    }
-    return dist;
+    return linf_box_distance(p, *region_);
   }
   for (std::size_t d = 0; d < p.size(); ++d) {
     dist = std::max(dist, std::abs(p[d] - q[d]));
